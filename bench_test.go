@@ -1,0 +1,300 @@
+package viampi
+
+// One Go benchmark per table and figure in the paper's evaluation section,
+// plus ablation benchmarks for the design choices called out in DESIGN.md.
+// Each benchmark iteration regenerates the artifact in quick mode (small
+// classes, few sweep points) and reports key virtual-time metrics so
+// `go test -bench=. -benchmem` doubles as a smoke evaluation. Run
+// `go run ./cmd/figures -all` for the full-size reproduction.
+
+import (
+	"strconv"
+	"testing"
+
+	"viampi/internal/bench"
+	"viampi/internal/mpi"
+	"viampi/internal/npb"
+	"viampi/internal/simnet"
+	"viampi/internal/via"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(bench.Options{Quick: true, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1_BviaLatencyVsVIs(b *testing.B)  { benchExperiment(b, "fig1") }
+func BenchmarkTable1_AppDestinations(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2_VIUsage(b *testing.B)         { benchExperiment(b, "table2") }
+func BenchmarkFig2a_LatencyClan(b *testing.B)      { benchExperiment(b, "fig2a") }
+func BenchmarkFig2b_LatencyBvia(b *testing.B)      { benchExperiment(b, "fig2b") }
+func BenchmarkFig3a_BandwidthClan(b *testing.B)    { benchExperiment(b, "fig3a") }
+func BenchmarkFig3b_BandwidthBvia(b *testing.B)    { benchExperiment(b, "fig3b") }
+func BenchmarkFig4a_BarrierClan(b *testing.B)      { benchExperiment(b, "fig4a") }
+func BenchmarkFig4b_BarrierBvia(b *testing.B)      { benchExperiment(b, "fig4b") }
+func BenchmarkFig5a_AllreduceClan(b *testing.B)    { benchExperiment(b, "fig5a") }
+func BenchmarkFig5b_AllreduceBvia(b *testing.B)    { benchExperiment(b, "fig5b") }
+func BenchmarkFig6_NpbClan(b *testing.B)           { benchExperiment(b, "fig6") }
+func BenchmarkFig7_NpbBvia(b *testing.B)           { benchExperiment(b, "fig7") }
+func BenchmarkFig8a_InitTimeClan(b *testing.B)     { benchExperiment(b, "fig8a") }
+func BenchmarkFig8b_InitTimeBvia(b *testing.B)     { benchExperiment(b, "fig8b") }
+func BenchmarkTable3_NpbTimes(b *testing.B)        { benchExperiment(b, "table3") }
+func BenchmarkExtScale(b *testing.B)               { benchExperiment(b, "ext-scale") }
+func BenchmarkExtDynamic(b *testing.B)             { benchExperiment(b, "ext-dynamic") }
+
+// BenchmarkPingpong reports the simulated one-way latency per device and
+// mechanism as a custom metric (virtual_us).
+func BenchmarkPingpong(b *testing.B) {
+	for _, device := range []string{"clan", "bvia"} {
+		for _, mech := range []bench.Mechanism{bench.StaticPolling, bench.OnDemand} {
+			b.Run(device+"/"+mech.Name, func(b *testing.B) {
+				var lat simnet.Duration
+				for i := 0; i < b.N; i++ {
+					l, err := bench.Pingpong(device, mech, 4, 20, 0, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					lat = l
+				}
+				b.ReportMetric(lat.Micros(), "virtual_us")
+			})
+		}
+	}
+}
+
+// BenchmarkAblation_EagerThreshold sweeps the eager/rendezvous switch point
+// (DESIGN.md decision 5): the paper observes the default 5000 is too low.
+func BenchmarkAblation_EagerThreshold(b *testing.B) {
+	for _, thresh := range []int{1000, 5000, 16000, 64000} {
+		b.Run(strconv.Itoa(thresh), func(b *testing.B) {
+			var bw float64
+			for i := 0; i < b.N; i++ {
+				var innerErr error
+				cfg := mpi.Config{
+					Procs: 2, EagerThreshold: thresh, CreditCount: 24,
+					Deadline: 600 * simnet.Second,
+				}
+				// 8 kB messages: eager iff thresh >= 8192.
+				w, err := mpi.Run(cfg, func(r *mpi.Rank) {
+					c := r.World()
+					const n, size = 50, 8192
+					if r.Rank() == 0 {
+						start := r.Proc().Now()
+						out := make([]byte, size)
+						for i := 0; i < n; i++ {
+							if err := c.Send(1, 0, out); err != nil {
+								innerErr = err
+								return
+							}
+						}
+						ack := make([]byte, 4)
+						if _, err := c.Recv(ack, 1, 1); err != nil {
+							innerErr = err
+							return
+						}
+						bw = float64(n*size) / r.Proc().Now().Sub(start).Seconds() / 1e6
+					} else {
+						in := make([]byte, size)
+						for i := 0; i < n; i++ {
+							if _, err := c.Recv(in, 0, 0); err != nil {
+								innerErr = err
+								return
+							}
+						}
+						if err := c.Send(0, 1, []byte("ok")); err != nil {
+							innerErr = err
+						}
+					}
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if innerErr != nil {
+					b.Fatal(innerErr)
+				}
+				_ = w
+			}
+			b.ReportMetric(bw, "virtual_MB/s")
+		})
+	}
+}
+
+// BenchmarkAblation_CreditCount sweeps the per-VI pre-posted buffer count:
+// fewer credits stall the pipeline; more pin more memory (the Table 2
+// trade-off).
+func BenchmarkAblation_CreditCount(b *testing.B) {
+	for _, credits := range []int{4, 8, 24, 64} {
+		b.Run(strconv.Itoa(credits), func(b *testing.B) {
+			var elapsed simnet.Duration
+			for i := 0; i < b.N; i++ {
+				cfg := mpi.Config{Procs: 2, CreditCount: credits, Deadline: 600 * simnet.Second}
+				w, err := mpi.Run(cfg, func(r *mpi.Rank) {
+					c := r.World()
+					if r.Rank() == 0 {
+						var reqs []*mpi.Request
+						for i := 0; i < 100; i++ {
+							q, err := c.Isend(1, 0, make([]byte, 256))
+							if err != nil {
+								return
+							}
+							reqs = append(reqs, q)
+						}
+						if err := r.Waitall(reqs...); err != nil {
+							return
+						}
+					} else {
+						in := make([]byte, 256)
+						for i := 0; i < 100; i++ {
+							if _, err := c.Recv(in, 0, 0); err != nil {
+								return
+							}
+						}
+					}
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				elapsed = w.Elapsed
+			}
+			b.ReportMetric(elapsed.Micros(), "virtual_us")
+		})
+	}
+}
+
+// BenchmarkAblation_SpinBudget sweeps the spinwait budget on cLAN barriers —
+// the paper's polling-vs-spinwait axis made continuous.
+func BenchmarkAblation_SpinBudget(b *testing.B) {
+	for _, spincount := range []int{0, 100, 10000} {
+		spincount := spincount
+		b.Run(strconv.Itoa(spincount), func(b *testing.B) {
+			var lat simnet.Duration
+			for i := 0; i < b.N; i++ {
+				mech := bench.StaticSpinwait
+				mech.Tune = func(c *via.CostModel) { c.DefaultSpinCount = spincount }
+				l, err := bench.CollectiveLatency("clan", mech, 8, 20, bench.BarrierOp, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lat = l
+			}
+			b.ReportMetric(lat.Micros(), "virtual_us")
+		})
+	}
+}
+
+// BenchmarkAblation_BarrierAlgorithm compares the three barrier algorithms
+// on latency (reported) — their connection footprints differ too (tree 2 <
+// rd 4 < dissemination ~8 VIs at 16 ranks; see TestBarrierAlgConnectionFootprint).
+func BenchmarkAblation_BarrierAlgorithm(b *testing.B) {
+	for _, alg := range []string{"tree", "rd", "dissemination"} {
+		alg := alg
+		b.Run(alg, func(b *testing.B) {
+			var per simnet.Duration
+			for i := 0; i < b.N; i++ {
+				cfg := mpi.Config{Procs: 16, BarrierAlg: alg, Deadline: 600 * simnet.Second}
+				var elapsed simnet.Duration
+				_, err := mpi.Run(cfg, func(r *mpi.Rank) {
+					c := r.World()
+					if err := c.Barrier(); err != nil {
+						return
+					}
+					start := r.Proc().Now()
+					for k := 0; k < 100; k++ {
+						if err := c.Barrier(); err != nil {
+							return
+						}
+					}
+					if r.Rank() == 0 {
+						elapsed = r.Proc().Now().Sub(start) / 100
+					}
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				per = elapsed
+			}
+			b.ReportMetric(per.Micros(), "virtual_us")
+		})
+	}
+}
+
+// BenchmarkAblation_DynamicCredits compares static pools against the
+// paper's future-work dynamic flow control on pinned footprint (reported)
+// for a lightly-loaded channel.
+func BenchmarkAblation_DynamicCredits(b *testing.B) {
+	for _, dyn := range []bool{false, true} {
+		name := "static-pool"
+		if dyn {
+			name = "dynamic-pool"
+		}
+		dyn := dyn
+		b.Run(name, func(b *testing.B) {
+			var pinned int64
+			for i := 0; i < b.N; i++ {
+				cfg := mpi.Config{Procs: 2, DynamicCredits: dyn, Deadline: 600 * simnet.Second}
+				w, err := mpi.Run(cfg, func(r *mpi.Rank) {
+					c := r.World()
+					other := 1 - r.Rank()
+					out := []byte{1}
+					in := make([]byte, 4)
+					if _, err := c.Sendrecv(other, 0, out, other, 0, in); err != nil {
+						return
+					}
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pinned = w.Ranks[0].PinnedPeak
+			}
+			b.ReportMetric(float64(pinned)/1024, "pinned_kB")
+		})
+	}
+}
+
+// BenchmarkNPBKernels runs every proxy at class S as a throughput smoke.
+func BenchmarkNPBKernels(b *testing.B) {
+	procs := map[string]int{"CG": 8, "MG": 8, "IS": 8, "EP": 8, "SP": 9, "BT": 9, "FT": 8, "LU": 8}
+	for _, k := range npb.Kernels() {
+		k := k
+		b.Run(k.Name, func(b *testing.B) {
+			var secs float64
+			for i := 0; i < b.N; i++ {
+				cfg := mpi.Config{Procs: procs[k.Name], Deadline: 600 * simnet.Second}
+				res, _, err := npb.Run(k, npb.ClassS, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				secs = res.TimeSec
+			}
+			b.ReportMetric(secs*1e3, "virtual_ms")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator event throughput via a
+// dense all-to-all, to track harness overhead itself.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := mpi.Config{Procs: 16, Deadline: 600 * simnet.Second}
+		w, err := mpi.Run(cfg, func(r *mpi.Rank) {
+			c := r.World()
+			n := c.Size()
+			for round := 0; round < 5; round++ {
+				if err := c.Alltoall(make([]byte, 128*n), make([]byte, 128*n), 128); err != nil {
+					return
+				}
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = w
+	}
+}

@@ -1,0 +1,127 @@
+// Command figures regenerates the paper's tables and figures on the
+// simulated cluster.
+//
+// Usage:
+//
+//	figures -list                 # show every experiment id
+//	figures -run fig4a,table2     # run selected experiments
+//	figures -all                  # run everything (the full evaluation)
+//	figures -all -quick           # small classes / few points, seconds not minutes
+//	figures -csv out/             # also write each table as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"viampi/internal/bench"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		run    = flag.String("run", "", "comma-separated experiment ids to run")
+		all    = flag.Bool("all", false, "run every experiment")
+		quick  = flag.Bool("quick", false, "reduced sizes/iterations")
+		csv    = flag.String("csv", "", "directory to write per-experiment CSV files")
+		svg    = flag.String("svg", "", "directory to write per-experiment SVG charts")
+		report = flag.String("report", "", "file to write a combined markdown report")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []bench.Experiment
+	switch {
+	case *all:
+		todo = bench.Experiments()
+	case *run != "":
+		for _, id := range strings.Split(*run, ",") {
+			e, err := bench.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := bench.Options{Quick: *quick, Seed: *seed}
+	var md *os.File
+	if *report != "" {
+		if dir := filepath.Dir(*report); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		var err error
+		md, err = os.Create(*report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(md, "# Evaluation report (seed %d, quick=%v)\n\n", *seed, *quick)
+		defer md.Close()
+	}
+	for _, e := range todo {
+		fmt.Fprintf(os.Stderr, "running %s...\n", e.ID)
+		tb, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		tb.Render(os.Stdout)
+		if md != nil {
+			tb.RenderMarkdown(md)
+		}
+		if *svg != "" && strings.HasPrefix(tb.ID, "fig") {
+			// Only figure-shaped experiments chart meaningfully; tables
+			// stay tables.
+			if err := os.MkdirAll(*svg, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*svg, tb.ID+".svg"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := tb.RenderSVG(f); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: svg: %v (skipped)\n", tb.ID, err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *csv != "" {
+			if err := os.MkdirAll(*csv, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*csv, tb.ID+".csv"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			tb.RenderCSV(f)
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

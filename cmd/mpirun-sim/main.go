@@ -1,0 +1,88 @@
+// Command mpirun-sim launches an NPB proxy benchmark on the simulated
+// cluster — the moral equivalent of mpirun on the paper's testbed.
+//
+// Examples:
+//
+//	mpirun-sim -np 16 CG A
+//	mpirun-sim -np 8 -device bvia -conn static-p2p IS B
+//	mpirun-sim -np 16 -conn ondemand -wait spinwait MG C
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"viampi/internal/mpi"
+	"viampi/internal/npb"
+	"viampi/internal/simnet"
+	"viampi/internal/trace"
+	"viampi/internal/via"
+)
+
+func main() {
+	var (
+		np      = flag.Int("np", 8, "number of processes")
+		device  = flag.String("device", "clan", "clan | bvia")
+		conn    = flag.String("conn", "ondemand", "static-cs | static-p2p | ondemand")
+		wait    = flag.String("wait", "polling", "polling | spinwait")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		matrix  = flag.Bool("matrix", false, "print the communication matrix after the run")
+		profile = flag.Bool("profile", false, "print per-MPI-call time accounting after the run")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: mpirun-sim [flags] <benchmark> <class>")
+		fmt.Fprintln(os.Stderr, "benchmarks: CG MG IS EP SP BT FT LU; classes: S W A B C")
+		os.Exit(2)
+	}
+	kern, err := npb.ByName(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	class, err := npb.ParseClass(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	wm := via.WaitPoll
+	if *wait == "spinwait" {
+		wm = via.WaitSpin
+	}
+	cfg := mpi.Config{
+		Procs:    *np,
+		Device:   *device,
+		Policy:   *conn,
+		WaitMode: wm,
+		Seed:     *seed,
+		Deadline: 8 * 3600 * simnet.Second,
+	}
+	var rec *trace.Recorder
+	if *matrix {
+		rec = trace.New(*np, false)
+		cfg.Trace = rec
+	}
+	cfg.Profile = *profile
+	res, w, err := npb.Run(kern, class, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s.%c on %d procs (%s, %s, %s)\n", res.Name, res.Class, res.Procs, *device, *conn, *wait)
+	fmt.Printf("  benchmark time     : %.3f s (virtual)\n", res.TimeSec)
+	fmt.Printf("  verified           : %v\n", res.Verified)
+	fmt.Printf("  MPI_Init (avg)     : %.3f ms\n", w.AvgInit().Seconds()*1e3)
+	fmt.Printf("  VIs/process (avg)  : %.2f\n", w.AvgVIs())
+	fmt.Printf("  VI utilization     : %.2f\n", w.AvgUtilization())
+	fmt.Printf("  pinned memory total: %.1f kB\n", float64(w.TotalPinnedPeak())/1024)
+	if rec != nil {
+		fmt.Println()
+		rec.RenderMatrix(os.Stdout)
+		rec.Summary(os.Stdout)
+	}
+	if *profile {
+		fmt.Println()
+		w.WriteProfile(os.Stdout)
+	}
+}

@@ -1,0 +1,285 @@
+// Command vibench benchmarks the VIA substrate directly — no MPI — in the
+// spirit of the VIBe microbenchmark suite the paper cites for its Figure 1
+// measurements. It reports, per device personality:
+//
+//   - VI creation and peer-to-peer connection setup time
+//   - small-message one-way latency and its growth with open VIs
+//   - send/receive vs. RDMA-write bandwidth at 64 kB
+//
+// Usage:
+//
+//	vibench                    # full sweep over clan, bvia, ib
+//	vibench -device bvia       # one device
+//	vibench -maxvis 256        # extend the VI-scaling curve
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"viampi/internal/fabric"
+	"viampi/internal/simnet"
+	"viampi/internal/via"
+)
+
+func main() {
+	var (
+		device = flag.String("device", "", "clan | bvia | ib (default: all)")
+		maxVis = flag.Int("maxvis", 128, "largest open-VI count in the scaling curve")
+	)
+	flag.Parse()
+	devices := []string{"clan", "bvia", "ib"}
+	if *device != "" {
+		devices = []string{*device}
+	}
+	for _, dev := range devices {
+		if err := run(dev, *maxVis); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func profile(dev string) (via.CostModel, fabric.Config, error) {
+	switch dev {
+	case "clan":
+		return via.ClanCost(), via.ClanFabric(2, 1), nil
+	case "bvia":
+		return via.BviaCost(), via.BviaFabric(2, 1), nil
+	case "ib":
+		return via.IbCost(), via.IbFabric(2, 1), nil
+	default:
+		return via.CostModel{}, fabric.Config{}, fmt.Errorf("vibench: unknown device %q", dev)
+	}
+}
+
+// side is one endpoint's script. The measuring side calls done once.
+type side func(p *simnet.Proc, mine *via.Port, peer via.Addr, done func(simnet.Duration))
+
+// bench runs a two-process VIA experiment.
+func bench(dev string, a, b side) (simnet.Duration, error) {
+	cost, fcfg, err := profile(dev)
+	if err != nil {
+		return 0, err
+	}
+	sim := simnet.New(1)
+	sim.SetDeadline(simnet.Time(60 * simnet.Second))
+	net := via.NewNetwork(sim, fcfg, cost)
+	var result simnet.Duration
+	addrs := make([]via.Addr, 2)
+	ready := 0
+	bodies := []side{a, b}
+	for i := 0; i < 2; i++ {
+		i := i
+		sim.Spawn(fmt.Sprint("p", i), 0, func(p *simnet.Proc) {
+			port, err := net.Open(p)
+			if err != nil {
+				sim.Failf("open: %v", err)
+				return
+			}
+			addrs[i] = port.Addr()
+			ready++
+			for ready < 2 {
+				p.Sleep(simnet.Microsecond)
+			}
+			bodies[i](p, port, addrs[1-i], func(d simnet.Duration) { result = d })
+		})
+	}
+	if err := sim.Run(); err != nil {
+		return 0, err
+	}
+	return result, nil
+}
+
+// prepare creates a VI with posted receives and connects it to the peer.
+func prepare(p *simnet.Proc, port *via.Port, peer via.Addr, disc uint64, recvs, size, extraVis int) (*via.VI, error) {
+	vi, err := port.CreateVi()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < recvs; i++ {
+		if err := vi.PostRecv(&via.Descriptor{Buf: make([]byte, size)}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < extraVis; i++ {
+		if _, err := port.CreateVi(); err != nil {
+			return nil, err
+		}
+	}
+	if err := port.ConnectPeerRequest(vi, peer, disc); err != nil {
+		return nil, err
+	}
+	if err := port.ConnectPeerWait(vi, via.WaitPoll, -1); err != nil {
+		return nil, err
+	}
+	return vi, nil
+}
+
+func must(p *simnet.Proc, err error) bool {
+	if err != nil {
+		p.Sim().Failf("vibench: %v", err)
+		return false
+	}
+	return true
+}
+
+func run(dev string, maxVis int) error {
+	fmt.Printf("== device %s ==\n", dev)
+
+	// Connection setup time (initiator's view).
+	d, err := bench(dev,
+		func(p *simnet.Proc, port *via.Port, peer via.Addr, done func(simnet.Duration)) {
+			start := p.Now()
+			if _, err := prepare(p, port, peer, 1, 4, 256, 0); err != nil {
+				must(p, err)
+				return
+			}
+			done(p.Now().Sub(start))
+		},
+		func(p *simnet.Proc, port *via.Port, peer via.Addr, _ func(simnet.Duration)) {
+			if _, err := prepare(p, port, peer, 1, 4, 256, 0); err != nil {
+				must(p, err)
+			}
+		})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  VI create + peer connect : %8.1f us\n", d.Micros())
+
+	// Latency vs. open VIs (pingpong; both sides open extras).
+	fmt.Printf("  one-way 4B latency by open VIs:\n")
+	const iters = 30
+	for vis := 1; vis <= maxVis; vis *= 4 {
+		extra := vis - 1
+		d, err := bench(dev,
+			func(p *simnet.Proc, port *via.Port, peer via.Addr, done func(simnet.Duration)) {
+				vi, err := prepare(p, port, peer, 1, iters+2, 64, extra)
+				if !must(p, err) {
+					return
+				}
+				start := p.Now()
+				for i := 0; i < iters; i++ {
+					if !must(p, vi.PostSend(&via.Descriptor{Buf: []byte{1, 2, 3, 4}, Len: 4})) {
+						return
+					}
+					if _, err := vi.RecvWait(via.WaitPoll, -1); !must(p, err) {
+						return
+					}
+				}
+				done(p.Now().Sub(start) / (2 * iters))
+			},
+			func(p *simnet.Proc, port *via.Port, peer via.Addr, _ func(simnet.Duration)) {
+				vi, err := prepare(p, port, peer, 1, iters+2, 64, extra)
+				if !must(p, err) {
+					return
+				}
+				for i := 0; i < iters; i++ {
+					if _, err := vi.RecvWait(via.WaitPoll, -1); !must(p, err) {
+						return
+					}
+					if !must(p, vi.PostSend(&via.Descriptor{Buf: []byte{9, 9, 9, 9}, Len: 4})) {
+						return
+					}
+				}
+			})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("    %4d VIs open           : %8.1f us\n", vis, d.Micros())
+	}
+
+	// Send vs. RDMA bandwidth at 64 kB.
+	const size = 64 << 10
+	const bwIters = 40
+	for _, mode := range []string{"send", "rdma"} {
+		mode := mode
+		d, err := bench(dev,
+			func(p *simnet.Proc, port *via.Port, peer via.Addr, done func(simnet.Duration)) {
+				vi, err := prepare(p, port, peer, 1, 4, size, 0)
+				if !must(p, err) {
+					return
+				}
+				// Learn the RDMA key out of band (first receive).
+				var key uint64
+				if mode == "rdma" {
+					dk, err := vi.RecvWait(via.WaitPoll, -1)
+					if !must(p, err) {
+						return
+					}
+					for i := 0; i < 8; i++ {
+						key |= uint64(dk.Buf[i]) << (8 * i)
+					}
+				}
+				buf := make([]byte, size)
+				start := p.Now()
+				for i := 0; i < bwIters; i++ {
+					var desc *via.Descriptor
+					if mode == "rdma" {
+						desc = &via.Descriptor{Buf: buf, Len: size, RdmaKey: key}
+						if !must(p, vi.PostRdmaWrite(desc)) {
+							return
+						}
+					} else {
+						desc = &via.Descriptor{Buf: buf, Len: size}
+						if !must(p, vi.PostSend(desc)) {
+							return
+						}
+					}
+					if _, err := vi.SendWait(via.WaitPoll, -1); !must(p, err) {
+						return
+					}
+				}
+				// Completion handshake: peer acks when it has everything.
+				if _, err := vi.RecvWait(via.WaitPoll, -1); !must(p, err) {
+					return
+				}
+				done(p.Now().Sub(start))
+			},
+			func(p *simnet.Proc, port *via.Port, peer via.Addr, _ func(simnet.Duration)) {
+				recvs := 6
+				if mode == "send" {
+					recvs = bwIters + 4
+				}
+				vi, err := prepare(p, port, peer, 1, recvs, size, 0)
+				if !must(p, err) {
+					return
+				}
+				if mode == "rdma" {
+					target := make([]byte, size)
+					key, _, err := port.RegisterRdmaTarget(target)
+					if !must(p, err) {
+						return
+					}
+					kb := make([]byte, 8)
+					for i := 0; i < 8; i++ {
+						kb[i] = byte(key >> (8 * i))
+					}
+					if !must(p, vi.PostSend(&via.Descriptor{Buf: kb, Len: 8})) {
+						return
+					}
+					// RDMA writes are silent; wait for the stats to show
+					// all the bytes, then ack.
+					for port.Stats().RdmaBytes < int64(size*bwIters) {
+						port.WaitActivityTimeout(via.WaitPoll, 200*simnet.Microsecond)
+					}
+				} else {
+					for i := 0; i < bwIters; i++ {
+						if _, err := vi.RecvWait(via.WaitPoll, -1); !must(p, err) {
+							return
+						}
+					}
+				}
+				if !must(p, vi.PostSend(&via.Descriptor{Buf: []byte{0xAC}, Len: 1})) {
+					return
+				}
+			})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-4s bandwidth (64kB)    : %8.1f MB/s\n", mode, float64(size*bwIters)/d.Seconds()/1e6)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package viampi is a reproduction, in pure Go, of "Impact of On-Demand
+// Connection Management in MPI over VIA" (Wu, Liu, Wyckoff, Panda — IEEE
+// Cluster 2002).
+//
+// The repository contains a deterministic discrete-event cluster simulator
+// (internal/simnet, internal/fabric), an emulation of the Virtual Interface
+// Architecture with cLAN-like and Berkeley-VIA-like device personalities
+// (internal/via), the paper's three connection-management policies
+// (internal/core), an MVICH-like MPI library (internal/mpi), the NAS
+// Parallel Benchmark proxies and production-application communication
+// patterns used in the evaluation (internal/npb, internal/apps), and a
+// harness that regenerates every table and figure (internal/bench,
+// cmd/figures). See README.md, DESIGN.md and EXPERIMENTS.md.
+package viampi

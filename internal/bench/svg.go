@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// SVG rendering for experiment tables: each numeric column becomes a line
+// series over the first column's values, so `figures -svg DIR` emits a
+// publication-style chart per experiment next to the CSVs.
+//
+// Design notes (following the repo's charting conventions): one y-axis,
+// categorical series colors assigned in fixed slot order (validated
+// colorblind-safe set), 2px lines with 4px-radius markers carrying native
+// <title> tooltips, recessive grid, a legend plus direct end-labels (the
+// two low-contrast slots require visible labels), and all text in ink
+// colors rather than series colors.
+
+// seriesPalette is the fixed categorical slot order (light mode); series
+// beyond the palette fold into gray rather than cycling hues.
+var seriesPalette = []string{
+	"#2a78d6", // blue
+	"#1baf7a", // aqua
+	"#eda100", // yellow
+	"#008300", // green
+	"#4a3aa7", // violet
+	"#e34948", // red
+	"#e87ba4", // magenta
+	"#eb6834", // orange
+}
+
+const (
+	svgSurface   = "#fcfcfb"
+	svgInk       = "#0b0b0b"
+	svgInkSoft   = "#52514e"
+	svgGridColor = "#e7e6e2"
+)
+
+// RenderSVG writes the table as a line chart. Rows whose first column is
+// non-numeric are treated as categorical x ticks; columns that fail to
+// parse as numbers are skipped. It returns an error when fewer than one
+// numeric series or two rows exist (a chart would misrepresent the data).
+func (t *Table) RenderSVG(w io.Writer) error {
+	type series struct {
+		name string
+		vals []float64
+	}
+	if len(t.Rows) < 2 || len(t.Columns) < 2 {
+		return fmt.Errorf("bench: table %s too small to chart", t.ID)
+	}
+	// Determine which columns are numeric across every row.
+	numeric := make([]bool, len(t.Columns))
+	for ci := 1; ci < len(t.Columns); ci++ {
+		ok := true
+		for _, row := range t.Rows {
+			if ci >= len(row) {
+				ok = false
+				break
+			}
+			if _, err := strconv.ParseFloat(strings.TrimSpace(row[ci]), 64); err != nil {
+				ok = false
+				break
+			}
+		}
+		numeric[ci] = ok
+	}
+	var ss []series
+	for ci := 1; ci < len(t.Columns); ci++ {
+		if !numeric[ci] {
+			continue
+		}
+		s := series{name: t.Columns[ci]}
+		for _, row := range t.Rows {
+			v, _ := strconv.ParseFloat(strings.TrimSpace(row[ci]), 64)
+			s.vals = append(s.vals, v)
+		}
+		ss = append(ss, s)
+	}
+	if len(ss) == 0 {
+		return fmt.Errorf("bench: table %s has no numeric series", t.ID)
+	}
+
+	// Chart geometry.
+	const (
+		width   = 760
+		height  = 440
+		left    = 70
+		right   = 150 // room for direct end-labels
+		top     = 56
+		bottom  = 64
+		plotW   = width - left - right
+		plotH   = height - top - bottom
+		markerR = 4
+	)
+	n := len(t.Rows)
+	xAt := func(i int) float64 {
+		if n == 1 {
+			return left + plotW/2
+		}
+		return left + float64(i)*float64(plotW)/float64(n-1)
+	}
+	ymin, ymax := ss[0].vals[0], ss[0].vals[0]
+	for _, s := range ss {
+		for _, v := range s.vals {
+			if v < ymin {
+				ymin = v
+			}
+			if v > ymax {
+				ymax = v
+			}
+		}
+	}
+	if ymin > 0 && ymin < ymax/3 {
+		ymin = 0 // anchor near zero when the data allows an honest zero base
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	pad := (ymax - ymin) * 0.08
+	ymaxP := ymax + pad
+	yAt := func(v float64) float64 {
+		return top + plotH - (v-ymin)/(ymaxP-ymin)*float64(plotH)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, sans-serif">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`+"\n", width, height, svgSurface)
+	fmt.Fprintf(&b, `<text x="%d" y="28" font-size="15" font-weight="600" fill="%s">%s</text>`+"\n",
+		left, svgInk, xmlEscape(t.Title))
+
+	// Recessive grid + y ticks (5 divisions).
+	for i := 0; i <= 5; i++ {
+		v := ymin + (ymaxP-ymin)*float64(i)/5
+		y := yAt(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+			left, y, left+plotW, y, svgGridColor)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" fill="%s" text-anchor="end">%s</text>`+"\n",
+			left-8, y+4, svgInkSoft, fmtTick(v))
+	}
+	// X ticks: thin out to at most 12 labels.
+	step := 1
+	for n/step > 12 {
+		step++
+	}
+	for i := 0; i < n; i += step {
+		x := xAt(i)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" fill="%s" text-anchor="middle">%s</text>`+"\n",
+			x, top+plotH+20, svgInkSoft, xmlEscape(t.Rows[i][0]))
+	}
+	// Axis titles.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="12" fill="%s" text-anchor="middle">%s</text>`+"\n",
+		float64(left)+plotW/2, top+plotH+44, svgInkSoft, xmlEscape(t.Columns[0]))
+
+	// Series.
+	for si, s := range ss {
+		color := "#8a8984" // fold-to-gray beyond the fixed slots, never a cycled hue
+		if si < len(seriesPalette) {
+			color = seriesPalette[si]
+		}
+		var pts []string
+		for i, v := range s.vals {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xAt(i), yAt(v)))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i, v := range s.vals {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%d" fill="%s" stroke="%s" stroke-width="2"><title>%s — %s: %s</title></circle>`+"\n",
+				xAt(i), yAt(v), markerR, color, svgSurface,
+				xmlEscape(t.Rows[i][0]), xmlEscape(s.name), fmtTick(v))
+		}
+		// Direct end-label in ink, with a colored dash carrying identity
+		// (required relief for the low-contrast palette slots).
+		lastY := yAt(s.vals[len(s.vals)-1]) + 4
+		lastY += float64(si%3-1) * 3 // nudge to reduce collisions
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="3"/>`+"\n",
+			left+plotW+6, lastY-4, left+plotW+18, lastY-4, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" fill="%s">%s</text>`+"\n",
+			left+plotW+22, lastY, svgInk, xmlEscape(s.name))
+	}
+
+	// Legend row (always present for >= 2 series).
+	if len(ss) >= 2 {
+		x := left
+		for si, s := range ss {
+			color := "#8a8984"
+			if si < len(seriesPalette) {
+				color = seriesPalette[si]
+			}
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" rx="2" fill="%s"/>`+"\n", x, 36, color)
+			fmt.Fprintf(&b, `<text x="%d" y="45" font-size="11" fill="%s">%s</text>`+"\n",
+				x+14, svgInkSoft, xmlEscape(s.name))
+			x += 16 + 7*len(s.name) + 14
+		}
+	}
+	fmt.Fprintln(&b, `</svg>`)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func fmtTick(v float64) string {
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	switch {
+	case a >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

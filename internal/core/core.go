@@ -1,0 +1,467 @@
+// Package core implements the paper's contribution: connection management
+// policies for MPI over VIA.
+//
+// Three managers are provided behind one interface:
+//
+//   - StaticClientServer: MVICH's original scheme using VIA's client-server
+//     connection model. Every pair is connected during MPI_Init; each
+//     process first connects (as client) to all lower ranks in order, then
+//     accepts (as server) all higher ranks *in rank order regardless of
+//     arrival order* — the serialization the paper blames for its very slow
+//     startup (Figure 8a).
+//
+//   - StaticPeerToPeer: the fully-connected mesh built with the symmetric
+//     peer-to-peer model. All N-1 requests are issued first, then progressed
+//     concurrently, avoiding the client-server serialization.
+//
+//   - OnDemand: the paper's mechanism. No VI exists until a pair first
+//     communicates. A VI endpoint is created and a peer-to-peer request
+//     issued from the first send (or receive targeting the peer); sends
+//     posted before the connection completes are parked in the channel's
+//     FIFO (paper §3.4) and drained in order when it establishes; incoming
+//     requests are discovered by polling inside the progress engine (§3.3,
+//     no extra thread); a receive from MPI_ANY_SOURCE connects to everyone
+//     in the communicator (§3.5).
+//
+// The managers only manage connections; eager-buffer setup and the actual
+// draining of parked sends belong to the MPI layer and are reached through
+// the PrepareChannel / OnChannelUp hooks.
+package core
+
+import (
+	"fmt"
+
+	"viampi/internal/simnet"
+	"viampi/internal/via"
+)
+
+// PairDisc returns the canonical VIA discriminator for a connection between
+// two ranks: both sides must issue their requests under the same value.
+func PairDisc(a, b int) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b)
+}
+
+// Channel is the per-peer connection state: one VI plus the pre-posted send
+// FIFO that preserves MPI's non-overtaking order for sends issued before the
+// connection exists.
+type Channel struct {
+	Rank int     // peer rank
+	Vi   *via.VI // endpoint; may be mid-handshake
+	Up   bool    // true once the connection is established and the FIFO drained
+
+	// UserData carries the MPI layer's per-channel state (credits, eager
+	// buffer pool).
+	UserData interface{}
+
+	fifo []interface{}
+}
+
+// Park appends a pre-posted send to the channel's FIFO (paper §3.4).
+func (c *Channel) Park(item interface{}) { c.fifo = append(c.fifo, item) }
+
+// Parked returns the number of parked sends.
+func (c *Channel) Parked() int { return len(c.fifo) }
+
+// DrainParked removes and returns all parked sends in FIFO order.
+func (c *Channel) DrainParked() []interface{} {
+	f := c.fifo
+	c.fifo = nil
+	return f
+}
+
+// Config wires a manager to one process's VIA port and the MPI callbacks.
+type Config struct {
+	Rank  int
+	Size  int
+	Port  *via.Port
+	Addrs []via.Addr   // rank -> VIA address, from the out-of-band bootstrap
+	Mode  via.WaitMode // completion wait mode for blocking phases
+
+	// NewVi, when set, creates VIs for channels (e.g. bound to a completion
+	// queue). Defaults to Port.CreateVi.
+	NewVi func() (*via.VI, error)
+	// PrepareChannel runs as soon as the channel's VI exists (before the
+	// connection completes): the MPI layer pre-posts its eager receive
+	// descriptors here, so no message can ever beat the buffers.
+	PrepareChannel func(ch *Channel)
+	// OnChannelUp runs when the connection is established; the MPI layer
+	// drains the parked sends here, in order.
+	OnChannelUp func(ch *Channel)
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Size <= 0 || c.Rank < 0 || c.Rank >= c.Size:
+		return fmt.Errorf("core: bad rank/size %d/%d", c.Rank, c.Size)
+	case c.Port == nil:
+		return fmt.Errorf("core: nil port")
+	case len(c.Addrs) != c.Size:
+		return fmt.Errorf("core: %d addrs for %d ranks", len(c.Addrs), c.Size)
+	}
+	return nil
+}
+
+// Manager is a connection management policy.
+type Manager interface {
+	// Name identifies the policy ("static-cs", "static-p2p", "ondemand").
+	Name() string
+	// Init establishes whatever connections the policy makes eagerly.
+	// Called from MPI_Init after the address bootstrap.
+	Init() error
+	// Channel returns the channel to rank, creating it (and initiating a
+	// connection) if the policy allows lazy creation. The returned channel
+	// may not be Up yet.
+	Channel(rank int) (*Channel, error)
+	// PeekChannel returns the channel to rank or nil; it never creates.
+	PeekChannel(rank int) *Channel
+	// ConnectAll initiates connections to every rank (the ANY_SOURCE rule).
+	ConnectAll() error
+	// Poll makes connection progress: it adopts incoming requests and
+	// promotes completed handshakes to Up (invoking OnChannelUp). It is
+	// called from the MPI progress engine and must never block.
+	Poll()
+	// PendingConnections reports channels still mid-handshake.
+	PendingConnections() int
+	// Finalize tears down all channels.
+	Finalize()
+}
+
+// base carries the state shared by all managers.
+type base struct {
+	cfg      Config
+	channels []*Channel // by rank; nil where absent
+	epToRank map[int]int
+}
+
+func newBase(cfg Config) (*base, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	b := &base{
+		cfg:      cfg,
+		channels: make([]*Channel, cfg.Size),
+		epToRank: make(map[int]int, cfg.Size),
+	}
+	for r, a := range cfg.Addrs {
+		b.epToRank[a.Ep] = r
+	}
+	return b, nil
+}
+
+func (b *base) PeekChannel(rank int) *Channel { return b.channels[rank] }
+
+// newChannel creates the VI for rank and runs PrepareChannel.
+func (b *base) newChannel(rank int) (*Channel, error) {
+	if rank < 0 || rank >= b.cfg.Size || rank == b.cfg.Rank {
+		return nil, fmt.Errorf("core: bad peer rank %d (self %d, size %d)", rank, b.cfg.Rank, b.cfg.Size)
+	}
+	newVi := b.cfg.NewVi
+	if newVi == nil {
+		newVi = b.cfg.Port.CreateVi
+	}
+	vi, err := newVi()
+	if err != nil {
+		return nil, err
+	}
+	ch := &Channel{Rank: rank, Vi: vi}
+	b.channels[rank] = ch
+	if b.cfg.PrepareChannel != nil {
+		b.cfg.PrepareChannel(ch)
+	}
+	return ch, nil
+}
+
+// markUp promotes a connected channel and hands it to the MPI layer.
+func (b *base) markUp(ch *Channel) {
+	ch.Up = true
+	if b.cfg.OnChannelUp != nil {
+		b.cfg.OnChannelUp(ch)
+	}
+}
+
+// promoteConnected flips channels whose handshake completed.
+func (b *base) promoteConnected() {
+	for _, ch := range b.channels {
+		if ch != nil && !ch.Up && ch.Vi.State() == via.ViConnected {
+			b.markUp(ch)
+		}
+	}
+}
+
+func (b *base) PendingConnections() int {
+	n := 0
+	for _, ch := range b.channels {
+		if ch != nil && !ch.Up {
+			n++
+		}
+	}
+	return n
+}
+
+func (b *base) Finalize() {
+	for _, ch := range b.channels {
+		if ch != nil && ch.Vi.State() != via.ViClosed {
+			ch.Vi.Close()
+		}
+	}
+}
+
+// waitAllUp blocks until no handshakes remain, polling connection progress.
+func (b *base) waitAllUp(poll func()) {
+	for b.PendingConnections() > 0 {
+		poll()
+		if b.PendingConnections() == 0 {
+			return
+		}
+		b.cfg.Port.WaitActivity(b.cfg.Mode)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Static peer-to-peer
+
+// StaticPeerToPeer builds the fully-connected mesh with concurrent
+// peer-to-peer handshakes during Init.
+type StaticPeerToPeer struct{ *base }
+
+// NewStaticPeerToPeer creates the manager.
+func NewStaticPeerToPeer(cfg Config) (*StaticPeerToPeer, error) {
+	b, err := newBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &StaticPeerToPeer{base: b}, nil
+}
+
+// Name implements Manager.
+func (m *StaticPeerToPeer) Name() string { return "static-p2p" }
+
+// Init issues all N-1 peer requests, then progresses them together.
+func (m *StaticPeerToPeer) Init() error {
+	for r := 0; r < m.cfg.Size; r++ {
+		if r == m.cfg.Rank {
+			continue
+		}
+		ch, err := m.newChannel(r)
+		if err != nil {
+			return err
+		}
+		if err := m.cfg.Port.ConnectPeerRequest(ch.Vi, m.cfg.Addrs[r], PairDisc(m.cfg.Rank, r)); err != nil {
+			return err
+		}
+	}
+	m.waitAllUp(m.Poll)
+	return nil
+}
+
+// Channel implements Manager; with a static mesh every channel exists.
+func (m *StaticPeerToPeer) Channel(rank int) (*Channel, error) {
+	ch := m.channels[rank]
+	if ch == nil {
+		return nil, fmt.Errorf("core: static-p2p has no channel to rank %d", rank)
+	}
+	return ch, nil
+}
+
+// ConnectAll implements Manager (a no-op for a static mesh).
+func (m *StaticPeerToPeer) ConnectAll() error { return nil }
+
+// Poll implements Manager.
+func (m *StaticPeerToPeer) Poll() { m.promoteConnected() }
+
+// ---------------------------------------------------------------------------
+// Static client-server
+
+// StaticClientServer reproduces MVICH's original serialized client-server
+// startup: for each pair the lower rank is the server; servers accept
+// expected peers strictly in rank order.
+type StaticClientServer struct{ *base }
+
+// NewStaticClientServer creates the manager.
+func NewStaticClientServer(cfg Config) (*StaticClientServer, error) {
+	b, err := newBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &StaticClientServer{base: b}, nil
+}
+
+// Name implements Manager.
+func (m *StaticClientServer) Name() string { return "static-cs" }
+
+// Init connects as client to all lower ranks (in order), then serves all
+// higher ranks strictly in rank order. The in-order accepts are the
+// serialization measured in Figure 8a.
+func (m *StaticClientServer) Init() error {
+	me := m.cfg.Rank
+	for r := 0; r < me; r++ {
+		ch, err := m.newChannel(r)
+		if err != nil {
+			return err
+		}
+		if err := m.cfg.Port.ConnectRequest(ch.Vi, m.cfg.Addrs[r], PairDisc(me, r), m.cfg.Mode); err != nil {
+			return fmt.Errorf("core: rank %d connect to %d: %w", me, r, err)
+		}
+		m.markUp(ch)
+	}
+	for r := me + 1; r < m.cfg.Size; r++ {
+		req, err := m.cfg.Port.ConnectWaitDisc(PairDisc(me, r), m.cfg.Mode, -1)
+		if err != nil {
+			return fmt.Errorf("core: rank %d accept from %d: %w", me, r, err)
+		}
+		ch, err := m.newChannel(r)
+		if err != nil {
+			return err
+		}
+		if err := m.cfg.Port.Accept(req, ch.Vi); err != nil {
+			return err
+		}
+		for !ch.Up {
+			m.Poll()
+			if ch.Up {
+				break
+			}
+			m.cfg.Port.WaitActivity(m.cfg.Mode)
+		}
+	}
+	m.waitAllUp(m.Poll)
+	return nil
+}
+
+// Channel implements Manager.
+func (m *StaticClientServer) Channel(rank int) (*Channel, error) {
+	ch := m.channels[rank]
+	if ch == nil {
+		return nil, fmt.Errorf("core: static-cs has no channel to rank %d", rank)
+	}
+	return ch, nil
+}
+
+// ConnectAll implements Manager (no-op for a static mesh).
+func (m *StaticClientServer) ConnectAll() error { return nil }
+
+// Poll implements Manager.
+func (m *StaticClientServer) Poll() { m.promoteConnected() }
+
+// ---------------------------------------------------------------------------
+// On-demand
+
+// OnDemand is the paper's lazy connection manager.
+type OnDemand struct{ *base }
+
+// NewOnDemand creates the manager.
+func NewOnDemand(cfg Config) (*OnDemand, error) {
+	b, err := newBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &OnDemand{base: b}, nil
+}
+
+// Name implements Manager.
+func (m *OnDemand) Name() string { return "ondemand" }
+
+// Init does nothing: no VI is created until a pair communicates.
+func (m *OnDemand) Init() error { return nil }
+
+// Channel returns the channel to rank, lazily creating the VI and issuing
+// the peer-to-peer request on first use. The caller must treat a !Up channel
+// by parking its send in the FIFO.
+func (m *OnDemand) Channel(rank int) (*Channel, error) {
+	if ch := m.channels[rank]; ch != nil {
+		return ch, nil
+	}
+	ch, err := m.newChannel(rank)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.cfg.Port.ConnectPeerRequest(ch.Vi, m.cfg.Addrs[rank], PairDisc(m.cfg.Rank, rank)); err != nil {
+		return nil, err
+	}
+	// The via layer may have matched an already-arrived request instantly;
+	// promotion still happens in Poll to keep ordering single-pathed.
+	return ch, nil
+}
+
+// ConnectAll initiates a connection to every rank in the communicator — the
+// MPI_ANY_SOURCE rule (§3.5): the receiver must be reachable by whichever
+// sender matches.
+func (m *OnDemand) ConnectAll() error {
+	for r := 0; r < m.cfg.Size; r++ {
+		if r == m.cfg.Rank {
+			continue
+		}
+		if _, err := m.Channel(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Poll adopts incoming connection requests (creating the local VI and
+// issuing the matching peer request) and promotes completed handshakes.
+// It runs inside the MPI progress engine: a connection request is just
+// another species of non-blocking request (§3.3).
+func (m *OnDemand) Poll() {
+	// Snapshot: ConnectPeerRequest consumes entries from the live slice.
+	for {
+		reqs := m.cfg.Port.PendingPeerRequests()
+		if len(reqs) == 0 {
+			break
+		}
+		req := reqs[0]
+		rank, ok := m.epToRank[req.From.Ep]
+		if !ok {
+			m.cfg.Port.Reject(req)
+			continue
+		}
+		if m.channels[rank] != nil {
+			// A request from a rank we already initiated to, with a
+			// different request still pending at the via layer, cannot
+			// happen under the canonical pair discriminator: crossing
+			// requests are matched inside via. Seeing a pending request
+			// here with an existing channel means the discriminators
+			// differ — reject it.
+			m.cfg.Port.Reject(req)
+			continue
+		}
+		ch, err := m.newChannel(rank)
+		if err != nil {
+			m.cfg.Port.Reject(req)
+			continue
+		}
+		// Matches the pending incoming request immediately.
+		if err := m.cfg.Port.ConnectPeerRequest(ch.Vi, req.From, req.Disc); err != nil {
+			m.cfg.Port.Reject(req) // consume it; never spin on a bad request
+		}
+	}
+	m.promoteConnected()
+}
+
+// NewManager builds a manager by policy name.
+func NewManager(policy string, cfg Config) (Manager, error) {
+	switch policy {
+	case "static-cs":
+		return NewStaticClientServer(cfg)
+	case "static-p2p":
+		return NewStaticPeerToPeer(cfg)
+	case "ondemand":
+		return NewOnDemand(cfg)
+	default:
+		return nil, fmt.Errorf("core: unknown connection policy %q", policy)
+	}
+}
+
+// Policies lists the available connection policies.
+func Policies() []string { return []string{"static-cs", "static-p2p", "ondemand"} }
+
+// InitTimer measures the virtual time spent in a manager's Init — the
+// quantity plotted in Figure 8.
+func InitTimer(p *simnet.Proc, m Manager) (simnet.Duration, error) {
+	start := p.Now()
+	err := m.Init()
+	return p.Now().Sub(start), err
+}

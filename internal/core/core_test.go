@@ -1,0 +1,562 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"viampi/internal/simnet"
+	"viampi/internal/via"
+)
+
+// runRanks spawns n processes, each with a VIA port, waits for the address
+// exchange, and runs body per rank. It returns the network for inspection.
+func runRanks(t *testing.T, n int, cost via.CostModel,
+	body func(p *simnet.Proc, port *via.Port, rank int, addrs []via.Addr)) *via.Network {
+	t.Helper()
+	s := simnet.New(1)
+	s.SetDeadline(simnet.Time(60 * simnet.Second))
+	fcfg := via.ClanFabric(n, 1)
+	if cost.Name == "bvia" {
+		fcfg = via.BviaFabric(n, 1)
+	}
+	net := via.NewNetwork(s, fcfg, cost)
+	addrs := make([]via.Addr, n)
+	ready := 0
+	for r := 0; r < n; r++ {
+		r := r
+		s.Spawn(fmt.Sprintf("rank%d", r), 0, func(p *simnet.Proc) {
+			port, err := net.Open(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			addrs[r] = port.Addr()
+			ready++
+			for ready < n {
+				p.Sleep(simnet.Microsecond)
+			}
+			body(p, port, r, addrs)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func managerConfig(rank, n int, port *via.Port, addrs []via.Addr) Config {
+	return Config{Rank: rank, Size: n, Port: port, Addrs: addrs, Mode: via.WaitPoll}
+}
+
+func TestPairDisc(t *testing.T) {
+	if PairDisc(3, 7) != PairDisc(7, 3) {
+		t.Fatal("PairDisc not symmetric")
+	}
+	if PairDisc(0, 1) == PairDisc(0, 2) {
+		t.Fatal("PairDisc collides")
+	}
+	f := func(a, b, c, d uint16) bool {
+		if (a == c && b == d) || (a == d && b == c) {
+			return true
+		}
+		if a == b || c == d {
+			return true
+		}
+		return PairDisc(int(a), int(b)) != PairDisc(int(c), int(d))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testStaticFullMesh(t *testing.T, policy string) {
+	const n = 6
+	net := runRanks(t, n, via.ClanCost(), func(p *simnet.Proc, port *via.Port, rank int, addrs []via.Addr) {
+		mgr, err := NewManager(policy, managerConfig(rank, n, port, addrs))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := mgr.Init(); err != nil {
+			t.Errorf("rank %d init: %v", rank, err)
+			return
+		}
+		if mgr.PendingConnections() != 0 {
+			t.Errorf("rank %d: %d pending after init", rank, mgr.PendingConnections())
+		}
+		for r := 0; r < n; r++ {
+			if r == rank {
+				continue
+			}
+			ch, err := mgr.Channel(r)
+			if err != nil || !ch.Up || ch.Vi.State() != via.ViConnected {
+				t.Errorf("rank %d channel to %d: err=%v up=%v", rank, r, err, ch != nil && ch.Up)
+			}
+		}
+	})
+	for _, port := range net.Ports() {
+		if got := port.Stats().VisCreated; got != n-1 {
+			t.Errorf("VisCreated = %d, want %d", got, n-1)
+		}
+	}
+}
+
+func TestStaticPeerToPeerFullMesh(t *testing.T)   { testStaticFullMesh(t, "static-p2p") }
+func TestStaticClientServerFullMesh(t *testing.T) { testStaticFullMesh(t, "static-cs") }
+
+func TestOnDemandInitCreatesNothing(t *testing.T) {
+	const n = 4
+	net := runRanks(t, n, via.ClanCost(), func(p *simnet.Proc, port *via.Port, rank int, addrs []via.Addr) {
+		mgr, err := NewOnDemand(managerConfig(rank, n, port, addrs))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := mgr.Init(); err != nil {
+			t.Error(err)
+		}
+	})
+	for _, port := range net.Ports() {
+		if got := port.Stats().VisCreated; got != 0 {
+			t.Errorf("VisCreated = %d after on-demand init, want 0", got)
+		}
+	}
+}
+
+// TestOnDemandLazyConnectAndFifoDrain exercises the full §3.4 path: rank 0
+// parks three sends before the connection exists; they must drain in order
+// once it establishes, and rank 1 must receive them in order.
+func TestOnDemandLazyConnectAndFifoDrain(t *testing.T) {
+	const n = 2
+	var drained []int
+	received := []byte{}
+	runRanks(t, n, via.ClanCost(), func(p *simnet.Proc, port *via.Port, rank int, addrs []via.Addr) {
+		cfg := managerConfig(rank, n, port, addrs)
+		cfg.PrepareChannel = func(ch *Channel) {
+			for i := 0; i < 8; i++ {
+				if err := ch.Vi.PostRecv(&via.Descriptor{Buf: make([]byte, 64)}); err != nil {
+					t.Error(err)
+				}
+			}
+		}
+		cfg.OnChannelUp = func(ch *Channel) {
+			for _, item := range ch.DrainParked() {
+				v := item.(int)
+				drained = append(drained, v)
+				if err := ch.Vi.PostSend(&via.Descriptor{Buf: []byte{byte(v)}, Len: 1}); err != nil {
+					t.Error(err)
+				}
+			}
+		}
+		mgr, err := NewOnDemand(cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := mgr.Init(); err != nil {
+			t.Error(err)
+			return
+		}
+		if rank == 0 {
+			ch, err := mgr.Channel(1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if ch.Up {
+				t.Error("channel up before handshake possible")
+			}
+			for i := 1; i <= 3; i++ {
+				ch.Park(i)
+			}
+			for !ch.Up {
+				mgr.Poll()
+				if ch.Up {
+					break
+				}
+				port.WaitActivity(via.WaitPoll)
+			}
+			if ch.Parked() != 0 {
+				t.Errorf("%d sends still parked after Up", ch.Parked())
+			}
+			p.Sleep(simnet.D(2e6)) // let deliveries finish
+		} else {
+			// Passive side: discover the connection purely via Poll.
+			var ch *Channel
+			for ch == nil || !ch.Up {
+				mgr.Poll()
+				ch = mgr.PeekChannel(0)
+				if ch != nil && ch.Up {
+					break
+				}
+				port.WaitActivity(via.WaitPoll)
+			}
+			for len(received) < 3 {
+				if d := ch.Vi.RecvDone(); d != nil {
+					received = append(received, d.Buf[0])
+				} else {
+					port.WaitActivity(via.WaitPoll)
+				}
+			}
+		}
+	})
+	if len(drained) != 3 || drained[0] != 1 || drained[1] != 2 || drained[2] != 3 {
+		t.Fatalf("drained = %v, want [1 2 3]", drained)
+	}
+	if string(received) != "\x01\x02\x03" {
+		t.Fatalf("received = %v, want [1 2 3]", received)
+	}
+}
+
+func TestOnDemandPassivePrepareBeforeData(t *testing.T) {
+	// The passive side's PrepareChannel must run (pre-posting receives)
+	// before any data can arrive, or the via layer would kill the
+	// connection with DroppedNoDescriptor.
+	const n = 2
+	net := runRanks(t, n, via.ClanCost(), func(p *simnet.Proc, port *via.Port, rank int, addrs []via.Addr) {
+		cfg := managerConfig(rank, n, port, addrs)
+		prepared := false
+		cfg.PrepareChannel = func(ch *Channel) {
+			prepared = true
+			for i := 0; i < 4; i++ {
+				if err := ch.Vi.PostRecv(&via.Descriptor{Buf: make([]byte, 64)}); err != nil {
+					t.Error(err)
+				}
+			}
+		}
+		cfg.OnChannelUp = func(ch *Channel) {
+			if !prepared {
+				t.Error("OnChannelUp before PrepareChannel")
+			}
+			for range ch.DrainParked() {
+			}
+		}
+		mgr, err := NewOnDemand(cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if rank == 0 {
+			ch, err := mgr.Channel(1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for !ch.Up {
+				mgr.Poll()
+				if ch.Up {
+					break
+				}
+				port.WaitActivity(via.WaitPoll)
+			}
+			if err := ch.Vi.PostSend(&via.Descriptor{Buf: []byte("x"), Len: 1}); err != nil {
+				t.Error(err)
+			}
+			p.Sleep(simnet.D(2e6))
+		} else {
+			end := p.Now().Add(simnet.D(5e6))
+			for p.Now() < end {
+				mgr.Poll()
+				port.WaitActivityTimeout(via.WaitPoll, 100*simnet.Microsecond)
+			}
+			ch := mgr.PeekChannel(0)
+			if ch == nil || !ch.Up {
+				t.Error("passive side never adopted the connection")
+			}
+		}
+	})
+	if net.DroppedNoDescriptor != 0 {
+		t.Fatalf("DroppedNoDescriptor = %d, want 0", net.DroppedNoDescriptor)
+	}
+}
+
+func TestOnDemandConnectAll(t *testing.T) {
+	const n = 5
+	runRanks(t, n, via.ClanCost(), func(p *simnet.Proc, port *via.Port, rank int, addrs []via.Addr) {
+		cfg := managerConfig(rank, n, port, addrs)
+		mgr, err := NewOnDemand(cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := mgr.ConnectAll(); err != nil {
+			t.Error(err)
+			return
+		}
+		for mgr.PendingConnections() > 0 {
+			mgr.Poll()
+			if mgr.PendingConnections() == 0 {
+				break
+			}
+			port.WaitActivity(via.WaitPoll)
+		}
+		if got := port.Stats().VisCreated; got != n-1 {
+			t.Errorf("rank %d: VisCreated = %d, want %d", rank, got, n-1)
+		}
+	})
+}
+
+// TestOnDemandRingUsesTwoVIs is the Table 2 "Ring" row: a ring exchange
+// under on-demand creates exactly 2 VIs per process.
+func TestOnDemandRingUsesTwoVIs(t *testing.T) {
+	const n = 8
+	net := runRanks(t, n, via.ClanCost(), func(p *simnet.Proc, port *via.Port, rank int, addrs []via.Addr) {
+		cfg := managerConfig(rank, n, port, addrs)
+		cfg.PrepareChannel = func(ch *Channel) {
+			for i := 0; i < 4; i++ {
+				if err := ch.Vi.PostRecv(&via.Descriptor{Buf: make([]byte, 64)}); err != nil {
+					t.Error(err)
+				}
+			}
+		}
+		cfg.OnChannelUp = func(ch *Channel) {
+			for _, it := range ch.DrainParked() {
+				b := it.([]byte)
+				if err := ch.Vi.PostSend(&via.Descriptor{Buf: b, Len: len(b)}); err != nil {
+					t.Error(err)
+				}
+			}
+		}
+		mgr, err := NewOnDemand(cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		right := (rank + 1) % n
+		ch, err := mgr.Channel(right)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ch.Park([]byte{byte(rank)})
+		// Progress until we have received from the left neighbour and our
+		// send has drained.
+		var gotLeft bool
+		for !gotLeft || ch.Parked() > 0 {
+			mgr.Poll()
+			if lch := mgr.PeekChannel((rank + n - 1) % n); lch != nil && lch.Up {
+				if d := lch.Vi.RecvDone(); d != nil {
+					if d.Buf[0] != byte((rank+n-1)%n) {
+						t.Errorf("rank %d got %d from left", rank, d.Buf[0])
+					}
+					gotLeft = true
+				}
+			}
+			if !gotLeft || ch.Parked() > 0 {
+				port.WaitActivityTimeout(via.WaitPoll, 50*simnet.Microsecond)
+			}
+		}
+		p.Sleep(simnet.D(3e6)) // let stragglers finish before ports go away
+	})
+	for r, port := range net.Ports() {
+		if got := port.Stats().VisCreated; got != 2 {
+			t.Errorf("rank %d: VisCreated = %d, want 2", r, got)
+		}
+		if got := port.VisUsed(); got != 2 {
+			t.Errorf("rank %d: VisUsed = %d, want 2", r, got)
+		}
+	}
+}
+
+// TestInitTimeOrdering checks the Figure 8 shape: on-demand init is cheapest,
+// static peer-to-peer next, serialized client-server worst.
+func TestInitTimeOrdering(t *testing.T) {
+	const n = 8
+	times := map[string]simnet.Duration{}
+	for _, policy := range Policies() {
+		policy := policy
+		var max simnet.Duration
+		runRanks(t, n, via.ClanCost(), func(p *simnet.Proc, port *via.Port, rank int, addrs []via.Addr) {
+			mgr, err := NewManager(policy, managerConfig(rank, n, port, addrs))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			d, err := InitTimer(p, mgr)
+			if err != nil {
+				t.Errorf("%s rank %d: %v", policy, rank, err)
+				return
+			}
+			if d > max {
+				max = d
+			}
+			p.Sleep(simnet.Second) // keep port alive for stragglers
+		})
+		times[policy] = max
+	}
+	if !(times["ondemand"] < times["static-p2p"]) {
+		t.Errorf("ondemand init %v not < static-p2p %v", times["ondemand"], times["static-p2p"])
+	}
+	if !(times["static-p2p"] < times["static-cs"]) {
+		t.Errorf("static-p2p init %v not < static-cs %v", times["static-p2p"], times["static-cs"])
+	}
+}
+
+func TestManagerNamesAndFinalize(t *testing.T) {
+	const n = 4
+	want := map[string]bool{"static-cs": true, "static-p2p": true, "ondemand": true}
+	runRanks(t, n, via.ClanCost(), func(p *simnet.Proc, port *via.Port, rank int, addrs []via.Addr) {
+		for _, policy := range Policies() {
+			if !want[policy] {
+				t.Errorf("unexpected policy %q", policy)
+			}
+		}
+		mgr, err := NewManager("ondemand", managerConfig(rank, n, port, addrs))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if mgr.Name() != "ondemand" {
+			t.Errorf("name = %q", mgr.Name())
+		}
+		if err := mgr.ConnectAll(); err != nil {
+			t.Error(err)
+			return
+		}
+		for mgr.PendingConnections() > 0 {
+			mgr.Poll()
+			if mgr.PendingConnections() == 0 {
+				break
+			}
+			port.WaitActivity(via.WaitPoll)
+		}
+		p.Sleep(simnet.D(2e6)) // let remote handshakes finish before teardown
+		mgr.Finalize()
+		for r := 0; r < n; r++ {
+			if r == rank {
+				continue
+			}
+			if ch := mgr.PeekChannel(r); ch == nil || ch.Vi.State() != via.ViClosed {
+				t.Errorf("rank %d channel to %d not closed after Finalize", rank, r)
+			}
+		}
+	})
+}
+
+func TestStaticManagerNames(t *testing.T) {
+	const n = 2
+	runRanks(t, n, via.ClanCost(), func(p *simnet.Proc, port *via.Port, rank int, addrs []via.Addr) {
+		cs, err := NewStaticClientServer(managerConfig(rank, n, port, addrs))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if cs.Name() != "static-cs" || cs.ConnectAll() != nil {
+			t.Error("static-cs surface")
+		}
+		p2p, err := NewStaticPeerToPeer(managerConfig(rank, n, port, addrs))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if p2p.Name() != "static-p2p" || p2p.ConnectAll() != nil {
+			t.Error("static-p2p surface")
+		}
+	})
+}
+
+func TestConfigValidation(t *testing.T) {
+	_, err := NewOnDemand(Config{Rank: 0, Size: 0})
+	if err == nil {
+		t.Fatal("expected error for size 0")
+	}
+	_, err = NewManager("bogus", Config{})
+	if err == nil {
+		t.Fatal("expected error for unknown policy")
+	}
+}
+
+func TestChannelFifoSemantics(t *testing.T) {
+	ch := &Channel{Rank: 1}
+	for i := 0; i < 5; i++ {
+		ch.Park(i)
+	}
+	if ch.Parked() != 5 {
+		t.Fatalf("Parked = %d", ch.Parked())
+	}
+	out := ch.DrainParked()
+	for i, v := range out {
+		if v.(int) != i {
+			t.Fatalf("drain order %v", out)
+		}
+	}
+	if ch.Parked() != 0 {
+		t.Fatal("fifo not emptied")
+	}
+	if got := ch.DrainParked(); len(got) != 0 {
+		t.Fatal("second drain not empty")
+	}
+}
+
+// Property (Table 2 core claim): under on-demand, the number of VIs a rank
+// creates equals its number of distinct communication partners.
+func TestPropertyOnDemandVIsEqualPartners(t *testing.T) {
+	f := func(edges []uint8) bool {
+		const n = 6
+		// Build a random undirected communication set.
+		want := make([]map[int]bool, n)
+		for i := range want {
+			want[i] = map[int]bool{}
+		}
+		var pairs [][2]int
+		for _, e := range edges {
+			a, b := int(e>>4)%n, int(e&0xf)%n
+			if a == b || want[a][b] {
+				continue
+			}
+			want[a][b], want[b][a] = true, true
+			pairs = append(pairs, [2]int{a, b})
+		}
+		okRes := true
+		net := runRanks(t, n, via.ClanCost(), func(p *simnet.Proc, port *via.Port, rank int, addrs []via.Addr) {
+			cfg := managerConfig(rank, n, port, addrs)
+			cfg.PrepareChannel = func(ch *Channel) {
+				for i := 0; i < 4; i++ {
+					if err := ch.Vi.PostRecv(&via.Descriptor{Buf: make([]byte, 16)}); err != nil {
+						okRes = false
+					}
+				}
+			}
+			cfg.OnChannelUp = func(ch *Channel) {
+				for _, it := range ch.DrainParked() {
+					_ = it
+					if err := ch.Vi.PostSend(&via.Descriptor{Buf: []byte{1}, Len: 1}); err != nil {
+						okRes = false
+					}
+				}
+			}
+			mgr, err := NewOnDemand(cfg)
+			if err != nil {
+				okRes = false
+				return
+			}
+			// The lower rank of each pair initiates.
+			for _, pr := range pairs {
+				if pr[0] == rank {
+					ch, err := mgr.Channel(pr[1])
+					if err != nil {
+						okRes = false
+						return
+					}
+					ch.Park(struct{}{})
+				}
+			}
+			// Progress for a fixed window of virtual time.
+			end := p.Now().Add(simnet.D(20e6))
+			for p.Now() < end {
+				mgr.Poll()
+				port.WaitActivityTimeout(via.WaitPoll, 200*simnet.Microsecond)
+			}
+		})
+		for r, port := range net.Ports() {
+			if port.Stats().VisCreated != len(want[r]) {
+				return false
+			}
+		}
+		return okRes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+// Package fabric models the physical cluster: nodes with shared NIC ports
+// connected through a full-crossbar switch, plus a slow out-of-band
+// management network used for job bootstrap (the role Ethernet/rsh played for
+// MVICH's process startup).
+//
+// The model charges three costs to every frame: transmit serialization on the
+// source node's NIC port, wire + switch propagation, and receive
+// serialization on the destination node's port. Processes on the same node
+// share their node's port in both directions, which reproduces the NIC
+// contention that multi-process-per-node MPI runs see. Same-node traffic
+// takes a loopback path with its own (lower) latency and no switch hop.
+//
+// fabric knows nothing about VIA: it moves opaque frames between endpoints in
+// virtual time. The via package layers endpoint/doorbell/descriptor
+// semantics on top.
+package fabric
+
+import (
+	"fmt"
+
+	"viampi/internal/simnet"
+)
+
+// Config describes the simulated cluster hardware.
+type Config struct {
+	Nodes           int             // number of physical nodes
+	ProcsPerNode    int             // process slots per node (block placement)
+	BandwidthBps    float64         // NIC port bandwidth, bytes per second, each direction
+	WireLatency     simnet.Duration // NIC->switch->NIC propagation (one way)
+	SwitchLatency   simnet.Duration // added per switch traversal
+	SameNodeLatency simnet.Duration // loopback latency for intra-node frames
+	MgmtLatency     simnet.Duration // out-of-band (Ethernet/TCP) one-way latency
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("fabric: Nodes must be positive, got %d", c.Nodes)
+	case c.ProcsPerNode <= 0:
+		return fmt.Errorf("fabric: ProcsPerNode must be positive, got %d", c.ProcsPerNode)
+	case c.BandwidthBps <= 0:
+		return fmt.Errorf("fabric: BandwidthBps must be positive, got %g", c.BandwidthBps)
+	case c.WireLatency < 0 || c.SwitchLatency < 0 || c.SameNodeLatency < 0 || c.MgmtLatency < 0:
+		return fmt.Errorf("fabric: latencies must be non-negative")
+	}
+	return nil
+}
+
+// MaxProcs returns the total process slots in the cluster.
+func (c Config) MaxProcs() int { return c.Nodes * c.ProcsPerNode }
+
+// Frame is an opaque unit of transfer between endpoints. Size is the wire
+// size in bytes used for serialization; Payload is whatever the upper layer
+// wants delivered (no marshalling happens inside the simulator).
+type Frame struct {
+	Src     int // source endpoint id
+	Dst     int // destination endpoint id
+	Size    int
+	Payload interface{}
+}
+
+// Handler consumes frames delivered to an endpoint.
+type Handler func(f Frame)
+
+// endpoint is a process's attachment point to its node's NIC.
+type endpoint struct {
+	id      int
+	node    int
+	handler Handler
+}
+
+// port tracks the serialization state of one node's NIC direction.
+type port struct {
+	freeAt simnet.Time
+	bytes  int64 // total bytes serialized, for stats
+}
+
+// reserve books size bytes onto the port starting no earlier than now and
+// returns the completion time.
+func (p *port) reserve(now simnet.Time, size int, bps float64) simnet.Time {
+	start := now
+	if p.freeAt > start {
+		start = p.freeAt
+	}
+	d := simnet.Duration(float64(size) / bps * 1e9)
+	p.freeAt = start.Add(d)
+	p.bytes += int64(size)
+	return p.freeAt
+}
+
+// Cluster is the simulated hardware instance.
+type Cluster struct {
+	sim *simnet.Sim
+	cfg Config
+	eps []*endpoint
+	tx  []port // per node
+	rx  []port // per node
+
+	// FramesDelivered counts frames handed to endpoint handlers.
+	FramesDelivered uint64
+	// MgmtFrames counts out-of-band deliveries.
+	MgmtFrames uint64
+}
+
+// New creates a cluster on sim. It panics on invalid configuration: cluster
+// shape is programmer input, not runtime data.
+func New(sim *simnet.Sim, cfg Config) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Cluster{
+		sim: sim,
+		cfg: cfg,
+		tx:  make([]port, cfg.Nodes),
+		rx:  make([]port, cfg.Nodes),
+	}
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Sim returns the simulation driving the cluster.
+func (c *Cluster) Sim() *simnet.Sim { return c.sim }
+
+// Attach creates a new endpoint on the next free process slot (block
+// placement: slot i lands on node i/ProcsPerNode) and returns its id.
+// handler is invoked in scheduler context each time a frame arrives.
+func (c *Cluster) Attach(handler Handler) (int, error) {
+	return c.AttachNode(len(c.eps)/c.cfg.ProcsPerNode, handler)
+}
+
+// AttachNode creates a new endpoint pinned to a specific node — the hook
+// for placement policies other than block (e.g. round-robin). Nodes are
+// capacity-checked against ProcsPerNode.
+func (c *Cluster) AttachNode(node int, handler Handler) (int, error) {
+	id := len(c.eps)
+	if id >= c.cfg.MaxProcs() {
+		return -1, fmt.Errorf("fabric: cluster full (%d slots)", c.cfg.MaxProcs())
+	}
+	if node < 0 || node >= c.cfg.Nodes {
+		return -1, fmt.Errorf("fabric: node %d of %d", node, c.cfg.Nodes)
+	}
+	used := 0
+	for _, ep := range c.eps {
+		if ep.node == node {
+			used++
+		}
+	}
+	if used >= c.cfg.ProcsPerNode {
+		return -1, fmt.Errorf("fabric: node %d full (%d slots)", node, c.cfg.ProcsPerNode)
+	}
+	c.eps = append(c.eps, &endpoint{id: id, node: node, handler: handler})
+	return id, nil
+}
+
+// NodeOf returns the node hosting endpoint id.
+func (c *Cluster) NodeOf(id int) int { return c.eps[id].node }
+
+// Endpoints returns the number of attached endpoints.
+func (c *Cluster) Endpoints() int { return len(c.eps) }
+
+// Send injects a frame into the network at the current virtual time after
+// extra (the sender-side processing delay computed by the device model, e.g.
+// NIC doorbell service). Delivery order between a fixed (src,dst) pair is
+// FIFO as long as extra is non-decreasing per pair — the via layer guarantees
+// this by serializing through each NIC's service loop.
+func (c *Cluster) Send(f Frame, extra simnet.Duration) {
+	if f.Src < 0 || f.Src >= len(c.eps) || f.Dst < 0 || f.Dst >= len(c.eps) {
+		panic(fmt.Sprintf("fabric: Send with bad endpoints src=%d dst=%d (have %d)", f.Src, f.Dst, len(c.eps)))
+	}
+	src, dst := c.eps[f.Src], c.eps[f.Dst]
+	c.sim.After(extra, func() {
+		now := c.sim.Now()
+		txDone := c.tx[src.node].reserve(now, f.Size, c.cfg.BandwidthBps)
+		var arriveAt simnet.Time
+		if src.node == dst.node {
+			arriveAt = txDone.Add(c.cfg.SameNodeLatency)
+		} else {
+			arriveAt = txDone.Add(c.cfg.WireLatency + c.cfg.SwitchLatency)
+		}
+		// Receive-side serialization (ingress DMA shares the port).
+		var deliverAt simnet.Time
+		if src.node == dst.node {
+			deliverAt = arriveAt
+		} else {
+			deliverAt = c.rx[dst.node].reserve(arriveAt, f.Size, c.cfg.BandwidthBps)
+		}
+		c.sim.At(deliverAt, func() {
+			c.FramesDelivered++
+			dst.handler(f)
+		})
+	})
+}
+
+// SendMgmt delivers a frame over the out-of-band management network: fixed
+// latency, no NIC serialization. Used for job bootstrap (rank/address
+// exchange), mirroring MVICH's TCP-based process manager.
+func (c *Cluster) SendMgmt(f Frame) {
+	if f.Src < 0 || f.Src >= len(c.eps) || f.Dst < 0 || f.Dst >= len(c.eps) {
+		panic(fmt.Sprintf("fabric: SendMgmt with bad endpoints src=%d dst=%d", f.Src, f.Dst))
+	}
+	dst := c.eps[f.Dst]
+	c.sim.After(c.cfg.MgmtLatency, func() {
+		c.MgmtFrames++
+		dst.handler(f)
+	})
+}
+
+// TxBytes returns total bytes serialized out of node n.
+func (c *Cluster) TxBytes(n int) int64 { return c.tx[n].bytes }
+
+// RxBytes returns total bytes serialized into node n.
+func (c *Cluster) RxBytes(n int) int64 { return c.rx[n].bytes }

@@ -1,0 +1,164 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDimsCreate(t *testing.T) {
+	cases := []struct {
+		n, d int
+		want []int
+	}{
+		{16, 2, []int{4, 4}},
+		{12, 2, []int{4, 3}},
+		{64, 3, []int{4, 4, 4}},
+		{24, 3, []int{4, 3, 2}},
+		{7, 2, []int{7, 1}},
+	}
+	for _, c := range cases {
+		got, err := DimsCreate(c.n, c.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := 1
+		for _, v := range got {
+			p *= v
+		}
+		if p != c.n {
+			t.Errorf("DimsCreate(%d,%d) = %v: product %d", c.n, c.d, got, p)
+		}
+		for i, v := range got {
+			if v != c.want[i] {
+				t.Errorf("DimsCreate(%d,%d) = %v, want %v", c.n, c.d, got, c.want)
+				break
+			}
+		}
+	}
+	if _, err := DimsCreate(0, 2); err == nil {
+		t.Error("DimsCreate(0,2) accepted")
+	}
+}
+
+func TestCartCoordsRankRoundTrip(t *testing.T) {
+	runWorld(t, testCfg(12), func(r *Rank) {
+		c := r.World()
+		cart, err := c.CartCreate([]int{3, 4}, []bool{true, false})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for rank := 0; rank < 12; rank++ {
+			co, err := cart.Coords(rank)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			back, err := cart.Rank(co)
+			if err != nil || back != rank {
+				t.Errorf("round trip %d -> %v -> %d", rank, co, back)
+				return
+			}
+		}
+		// Periodic dim 0 wraps; non-periodic dim 1 nulls.
+		if rk, _ := cart.Rank([]int{-1, 0}); rk != 8 {
+			t.Errorf("periodic wrap = %d, want 8", rk)
+		}
+		if rk, _ := cart.Rank([]int{0, -1}); rk != -1 {
+			t.Errorf("non-periodic edge = %d, want -1", rk)
+		}
+	})
+}
+
+func TestCartValidation(t *testing.T) {
+	runWorld(t, testCfg(6), func(r *Rank) {
+		c := r.World()
+		if _, err := c.CartCreate([]int{4, 2}, nil); err == nil {
+			t.Error("wrong product accepted")
+		}
+		if _, err := c.CartCreate(nil, nil); err == nil {
+			t.Error("empty dims accepted")
+		}
+		if _, err := c.CartCreate([]int{6}, []bool{true, false}); err == nil {
+			t.Error("periodic length mismatch accepted")
+		}
+		cart, err := c.CartCreate([]int{2, 3}, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, _, err := cart.Shift(5, 1); err == nil {
+			t.Error("bad shift dim accepted")
+		}
+	})
+}
+
+// TestCartShiftExchange does a full halo shift along both dimensions of a
+// periodic grid and checks the data lands where the topology says.
+func TestCartShiftExchange(t *testing.T) {
+	const px, py = 3, 2
+	runWorld(t, testCfg(px*py), func(r *Rank) {
+		c := r.World()
+		cart, err := c.CartCreate([]int{px, py}, []bool{true, true})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for dim := 0; dim < 2; dim++ {
+			src, dst, err := cart.Shift(dim, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			out := []byte{byte(c.Rank())}
+			in := make([]byte, 4)
+			st, err := c.Sendrecv(dst, dim, out, src, dim, in)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if int(in[0]) != src || st.Source != src {
+				t.Errorf("dim %d: got %d from %d, want %d", dim, in[0], st.Source, src)
+				return
+			}
+		}
+	})
+}
+
+// Property: Shift's src and dst are inverses — my dst's src along the same
+// dimension is me (on a fully periodic grid).
+func TestPropertyCartShiftInverse(t *testing.T) {
+	f := func(dimsRaw [2]uint8, disp int8) bool {
+		px := int(dimsRaw[0])%4 + 1
+		py := int(dimsRaw[1])%4 + 1
+		ok := true
+		cfg := testCfg(px * py)
+		_, err := Run(cfg, func(r *Rank) {
+			c := r.World()
+			cart, err := c.CartCreate([]int{px, py}, []bool{true, true})
+			if err != nil {
+				ok = false
+				return
+			}
+			for dim := 0; dim < 2; dim++ {
+				src, dst, err := cart.Shift(dim, int(disp))
+				if err != nil {
+					ok = false
+					return
+				}
+				// Compute dst's shift from dst's coordinates directly.
+				co, _ := cart.Coords(dst)
+				co[dim] -= int(disp)
+				back, _ := cart.Rank(co)
+				if back != c.Rank() {
+					ok = false
+				}
+				_ = src
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

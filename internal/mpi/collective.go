@@ -1,0 +1,478 @@
+package mpi
+
+import "fmt"
+
+// Collective operations, implemented with the MPICH-1.2-era algorithms the
+// paper's MVICH used: binomial trees for barrier/bcast/reduce,
+// reduce+bcast for allreduce, gather+bcast for allgather, and pairwise
+// linear exchange for alltoall. All collective traffic runs in the
+// communicator's hidden collective context, so it can never match user
+// point-to-point receives.
+
+// Internal tags distinguishing collective operations. Each gets a spaced
+// range because recursive doubling uses tag, tag+1 and tag+2 internally.
+const (
+	tagBarrierUp     = 10
+	tagAllreduce     = 20
+	tagBcast         = 30
+	tagReduce        = 40
+	tagGather        = 50
+	tagScatter       = 60
+	tagAllgather     = 70
+	tagAlltoall      = 80
+	tagScan          = 90
+	tagDissemination = 300 // one tag per dissemination round
+)
+
+// Barrier blocks until every rank in the communicator has entered it.
+//
+// The default algorithm is recursive doubling over the hypercube (partner =
+// rank XOR 2^k), with non-power-of-2 stragglers folded onto the power-of-2
+// core — matching the log2(N) partner counts the paper's Table 2 measures
+// for MVICH's barrier (4 at 16 processes, 5 at 32) and the extra steps at
+// non-power-of-2 sizes that cause the fluctuation under Figure 4.
+// Config.BarrierAlg selects "dissemination" (log rounds, 2*log partners) or
+// "tree" (binomial combine + broadcast, ~2 partners) for the connection-
+// footprint ablation.
+func (c *Comm) Barrier() error {
+	defer c.r.prof.enter("Barrier")()
+	switch c.r.cfg.BarrierAlg {
+	case "", "rd":
+		token := make([]byte, 8)
+		return c.recursiveDoubling(token, BorI64, tagBarrierUp)
+	case "dissemination":
+		return c.disseminationBarrier()
+	case "tree":
+		return c.treeBarrier()
+	default:
+		return fmt.Errorf("mpi: unknown barrier algorithm %q", c.r.cfg.BarrierAlg)
+	}
+}
+
+// disseminationBarrier: in round k every rank signals (rank+2^k) mod N and
+// waits for (rank-2^k) mod N. Works for any N in ceil(log2 N) rounds, at
+// the cost of up to 2*log distinct partners.
+func (c *Comm) disseminationBarrier() error {
+	n := c.Size()
+	if n == 1 {
+		return nil
+	}
+	me := c.myrank
+	token := make([]byte, 1)
+	in := make([]byte, 1)
+	round := 0
+	for mask := 1; mask < n; mask <<= 1 {
+		to := (me + mask) % n
+		from := (me - mask + n) % n
+		tag := tagDissemination + round
+		sq, err := c.isendCtx(ModeStandard, to, tag, token, c.cctx)
+		if err != nil {
+			return err
+		}
+		rq, err := c.irecvCtx(in, from, tag, c.cctx)
+		if err != nil {
+			return err
+		}
+		if err := c.r.Waitall(sq, rq); err != nil {
+			return err
+		}
+		round++
+	}
+	return nil
+}
+
+// treeBarrier: binomial combine to rank 0 followed by a binomial broadcast.
+// Cheapest in connections (each rank talks only to its tree parent and
+// children) but deepest in latency — the other end of the ablation axis.
+func (c *Comm) treeBarrier() error {
+	n := c.Size()
+	if n == 1 {
+		return nil
+	}
+	me := c.myrank
+	token := make([]byte, 1)
+	in := make([]byte, 1)
+	for mask := 1; mask < n; mask <<= 1 {
+		if me&mask != 0 {
+			if err := c.csend(me-mask, tagBarrierUp, token); err != nil {
+				return err
+			}
+			break
+		}
+		if me+mask < n {
+			if _, err := c.crecv(in, me+mask, tagBarrierUp); err != nil {
+				return err
+			}
+		}
+	}
+	return c.bcastCtx(token, 0, tagBarrierUp+1)
+}
+
+// recursiveDoubling runs the fold + XOR-exchange + unfold pattern shared by
+// Barrier and Allreduce. buf is combined in place on every rank.
+func (c *Comm) recursiveDoubling(buf []byte, op Op, tag int) error {
+	n := c.Size()
+	if n == 1 {
+		return nil
+	}
+	me := c.myrank
+	p2 := 1
+	for p2*2 <= n {
+		p2 *= 2
+	}
+	rem := n - p2
+	tmp := make([]byte, len(buf))
+
+	// Fold: ranks beyond the power-of-2 core hand their contribution down.
+	if me >= p2 {
+		if err := c.csend(me-p2, tag, buf); err != nil {
+			return err
+		}
+		// Wait for the final result.
+		_, err := c.crecv(buf, me-p2, tag+1)
+		return err
+	}
+	if me < rem {
+		if _, err := c.crecv(tmp, me+p2, tag); err != nil {
+			return err
+		}
+		op.Combine(buf, tmp)
+	}
+	// Hypercube exchange.
+	for mask := 1; mask < p2; mask <<= 1 {
+		partner := me ^ mask
+		if err := c.csendrecv(partner, tag+2, buf, tmp); err != nil {
+			return err
+		}
+		op.Combine(buf, tmp)
+	}
+	// Unfold.
+	if me < rem {
+		return c.csend(me+p2, tag+1, buf)
+	}
+	return nil
+}
+
+// Bcast broadcasts buf from root to every rank (binomial tree).
+func (c *Comm) Bcast(buf []byte, root int) error {
+	defer c.r.prof.enter("Bcast")()
+	return c.bcastCtx(buf, root, tagBcast)
+}
+
+func (c *Comm) bcastCtx(buf []byte, root, tag int) error {
+	n := c.Size()
+	if n == 1 {
+		return nil
+	}
+	if root < 0 || root >= n {
+		return fmt.Errorf("mpi: Bcast root %d of %d", root, n)
+	}
+	relative := (c.myrank - root + n) % n
+	mask := 1
+	for mask < n {
+		if relative&mask != 0 {
+			src := (relative - mask + root) % n
+			if _, err := c.crecv(buf, (src+n)%n, tag); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if relative+mask < n {
+			dst := (relative + mask + root) % n
+			if err := c.csend(dst, tag, buf); err != nil {
+				return err
+			}
+		}
+		mask >>= 1
+	}
+	return nil
+}
+
+// Reduce combines every rank's sendbuf with op into recvbuf at root
+// (binomial tree). recvbuf is only written at root and must be len(sendbuf).
+func (c *Comm) Reduce(sendbuf, recvbuf []byte, op Op, root int) error {
+	defer c.r.prof.enter("Reduce")()
+	n := c.Size()
+	if root < 0 || root >= n {
+		return fmt.Errorf("mpi: Reduce root %d of %d", root, n)
+	}
+	accum := append([]byte(nil), sendbuf...)
+	tmp := make([]byte, len(sendbuf))
+	relative := (c.myrank - root + n) % n
+	for mask := 1; mask < n; mask <<= 1 {
+		if relative&mask != 0 {
+			dst := (relative - mask + root) % n
+			if err := c.csend((dst+n)%n, tagReduce, accum); err != nil {
+				return err
+			}
+			break
+		}
+		if relative+mask < n {
+			src := (relative + mask + root) % n
+			if _, err := c.crecv(tmp, src, tagReduce); err != nil {
+				return err
+			}
+			op.Combine(accum, tmp)
+		}
+	}
+	if c.myrank == root {
+		copy(recvbuf, accum)
+	}
+	return nil
+}
+
+// Allreduce combines every rank's sendbuf into recvbuf on all ranks. The
+// default is recursive doubling — the log2(N)-partner pattern whose
+// per-rank VI counts the paper's Table 2 measures for MVICH (4 at 16
+// processes, 5 at 32). Config.AllreduceAlg selects "reduce-bcast" (binomial
+// reduce to rank 0 plus broadcast — fewer connections, higher latency) for
+// the ablation.
+func (c *Comm) Allreduce(sendbuf, recvbuf []byte, op Op) error {
+	defer c.r.prof.enter("Allreduce")()
+	if len(recvbuf) < len(sendbuf) {
+		return fmt.Errorf("mpi: Allreduce recvbuf %d < sendbuf %d", len(recvbuf), len(sendbuf))
+	}
+	switch c.r.cfg.AllreduceAlg {
+	case "", "rd":
+		copy(recvbuf, sendbuf)
+		return c.recursiveDoubling(recvbuf[:len(sendbuf)], op, tagAllreduce)
+	case "reduce-bcast":
+		if err := c.Reduce(sendbuf, recvbuf, op, 0); err != nil {
+			return err
+		}
+		return c.Bcast(recvbuf[:len(sendbuf)], 0)
+	default:
+		return fmt.Errorf("mpi: unknown allreduce algorithm %q", c.r.cfg.AllreduceAlg)
+	}
+}
+
+// AllreduceF64 is a convenience wrapper reducing float64 slices.
+func (c *Comm) AllreduceF64(in []float64, op Op) ([]float64, error) {
+	sb := F64Bytes(in)
+	rb := make([]byte, len(sb))
+	if err := c.Allreduce(sb, rb, op); err != nil {
+		return nil, err
+	}
+	return BytesF64(rb), nil
+}
+
+// AllreduceI64 is a convenience wrapper reducing int64 slices.
+func (c *Comm) AllreduceI64(in []int64, op Op) ([]int64, error) {
+	sb := I64Bytes(in)
+	rb := make([]byte, len(sb))
+	if err := c.Allreduce(sb, rb, op); err != nil {
+		return nil, err
+	}
+	return BytesI64(rb), nil
+}
+
+// Gather collects each rank's equal-size sendbuf into recvbuf at root
+// (linear, as in MPICH-1). recvbuf must be Size()*len(sendbuf) at root.
+func (c *Comm) Gather(sendbuf, recvbuf []byte, root int) error {
+	defer c.r.prof.enter("Gather")()
+	n := c.Size()
+	sz := len(sendbuf)
+	if c.myrank != root {
+		return c.csend(root, tagGather, sendbuf)
+	}
+	if len(recvbuf) < n*sz {
+		return fmt.Errorf("mpi: Gather recvbuf %d < %d", len(recvbuf), n*sz)
+	}
+	copy(recvbuf[root*sz:], sendbuf)
+	reqs := make([]*Request, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i == root {
+			continue
+		}
+		req, err := c.irecvCtx(recvbuf[i*sz:(i+1)*sz], i, tagGather, c.cctx)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	return c.r.Waitall(reqs...)
+}
+
+// Scatter distributes equal-size chunks of sendbuf at root to every rank's
+// recvbuf (linear, as in MPICH-1).
+func (c *Comm) Scatter(sendbuf, recvbuf []byte, root int) error {
+	defer c.r.prof.enter("Scatter")()
+	n := c.Size()
+	sz := len(recvbuf)
+	if c.myrank != root {
+		_, err := c.crecv(recvbuf, root, tagScatter)
+		return err
+	}
+	if len(sendbuf) < n*sz {
+		return fmt.Errorf("mpi: Scatter sendbuf %d < %d", len(sendbuf), n*sz)
+	}
+	for i := 0; i < n; i++ {
+		if i == root {
+			copy(recvbuf, sendbuf[i*sz:(i+1)*sz])
+			continue
+		}
+		if err := c.csend(i, tagScatter, sendbuf[i*sz:(i+1)*sz]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Allgather concatenates each rank's equal-size sendbuf into recvbuf on all
+// ranks: recursive doubling when the size is a power of two (log2(N)
+// partners, doubling block runs), otherwise gather-to-0 plus broadcast.
+func (c *Comm) Allgather(sendbuf, recvbuf []byte) error {
+	defer c.r.prof.enter("Allgather")()
+	n := c.Size()
+	sz := len(sendbuf)
+	if len(recvbuf) < n*sz {
+		return fmt.Errorf("mpi: Allgather recvbuf %d < %d", len(recvbuf), n*sz)
+	}
+	if n&(n-1) != 0 {
+		if err := c.Gather(sendbuf, recvbuf, 0); err != nil {
+			return err
+		}
+		return c.Bcast(recvbuf[:n*sz], 0)
+	}
+	me := c.myrank
+	copy(recvbuf[me*sz:(me+1)*sz], sendbuf)
+	for mask := 1; mask < n; mask <<= 1 {
+		partner := me ^ mask
+		myBase := me &^ (mask - 1)
+		pBase := partner &^ (mask - 1)
+		out := recvbuf[myBase*sz : (myBase+mask)*sz]
+		in := recvbuf[pBase*sz : (pBase+mask)*sz]
+		if err := c.csendrecv(partner, tagAllgather, out, in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllgatherI64 gathers one int64 block per rank.
+func (c *Comm) AllgatherI64(in []int64, out []int64) error {
+	sb := I64Bytes(in)
+	rb := make([]byte, len(sb)*c.Size())
+	if err := c.Allgather(sb, rb); err != nil {
+		return err
+	}
+	copy(out, BytesI64(rb))
+	return nil
+}
+
+// Alltoall exchanges equal-size blocks: rank i's block j lands in rank j's
+// slot i. Pairwise linear exchange with all receives pre-posted.
+func (c *Comm) Alltoall(sendbuf, recvbuf []byte, blockSize int) error {
+	n := c.Size()
+	if len(sendbuf) < n*blockSize || len(recvbuf) < n*blockSize {
+		return fmt.Errorf("mpi: Alltoall buffers too small for %d x %d", n, blockSize)
+	}
+	counts := make([]int, n)
+	sdispl := make([]int, n)
+	rdispl := make([]int, n)
+	for i := 0; i < n; i++ {
+		counts[i] = blockSize
+		sdispl[i] = i * blockSize
+		rdispl[i] = i * blockSize
+	}
+	return c.Alltoallv(sendbuf, counts, sdispl, recvbuf, counts, rdispl)
+}
+
+// Alltoallv is the vector all-to-all: rank i sends sendbuf[sdispl[j]:+scounts[j]]
+// to rank j, receiving into recvbuf[rdispl[j]:+rcounts[j]].
+func (c *Comm) Alltoallv(sendbuf []byte, scounts, sdispl []int,
+	recvbuf []byte, rcounts, rdispl []int) error {
+	defer c.r.prof.enter("Alltoallv")()
+	n := c.Size()
+	me := c.myrank
+	copy(recvbuf[rdispl[me]:rdispl[me]+rcounts[me]], sendbuf[sdispl[me]:sdispl[me]+scounts[me]])
+	reqs := make([]*Request, 0, 2*(n-1))
+	// Post all receives first, then sends, staggered (rank+i) to spread load.
+	for i := 1; i < n; i++ {
+		src := (me - i + n) % n
+		req, err := c.irecvCtx(recvbuf[rdispl[src]:rdispl[src]+rcounts[src]], src, tagAlltoall, c.cctx)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	for i := 1; i < n; i++ {
+		dst := (me + i) % n
+		req, err := c.isendCtx(ModeStandard, dst, tagAlltoall, sendbuf[sdispl[dst]:sdispl[dst]+scounts[dst]], c.cctx)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, req)
+	}
+	return c.r.Waitall(reqs...)
+}
+
+// Scan computes the inclusive prefix reduction: rank i's recvbuf holds the
+// combination of sendbufs from ranks 0..i (linear chain).
+func (c *Comm) Scan(sendbuf, recvbuf []byte, op Op) error {
+	defer c.r.prof.enter("Scan")()
+	copy(recvbuf, sendbuf)
+	if c.myrank > 0 {
+		tmp := make([]byte, len(sendbuf))
+		if _, err := c.crecv(tmp, c.myrank-1, tagScan); err != nil {
+			return err
+		}
+		// Combine with the prefix from the left: result = prefix op mine.
+		op.Combine(tmp, sendbuf)
+		copy(recvbuf, tmp)
+	}
+	if c.myrank < c.Size()-1 {
+		return c.csend(c.myrank+1, tagScan, recvbuf[:len(sendbuf)])
+	}
+	return nil
+}
+
+// ReduceScatterBlock reduces equal blocks then scatters one block per rank:
+// implemented as Reduce to rank 0 followed by Scatter, as MPICH-1 did.
+func (c *Comm) ReduceScatterBlock(sendbuf, recvbuf []byte, op Op) error {
+	n := c.Size()
+	full := make([]byte, len(sendbuf))
+	if err := c.Reduce(sendbuf, full, op, 0); err != nil {
+		return err
+	}
+	return c.Scatter(full, recvbuf[:len(sendbuf)/n], 0)
+}
+
+// csend is a blocking collective-context send.
+func (c *Comm) csend(dst, tag int, data []byte) error {
+	req, err := c.isendCtx(ModeStandard, dst, tag, data, c.cctx)
+	if err != nil {
+		return err
+	}
+	return c.r.Wait(req)
+}
+
+// csendrecv is a blocking collective-context symmetric exchange with one
+// partner: send out, receive into in, same tag.
+func (c *Comm) csendrecv(partner, tag int, out, in []byte) error {
+	sq, err := c.isendCtx(ModeStandard, partner, tag, out, c.cctx)
+	if err != nil {
+		return err
+	}
+	rq, err := c.irecvCtx(in, partner, tag, c.cctx)
+	if err != nil {
+		return err
+	}
+	return c.r.Waitall(sq, rq)
+}
+
+// crecv is a blocking collective-context receive.
+func (c *Comm) crecv(buf []byte, src, tag int) (Status, error) {
+	req, err := c.irecvCtx(buf, src, tag, c.cctx)
+	if err != nil {
+		return Status{}, err
+	}
+	if err := c.r.Wait(req); err != nil {
+		return Status{}, err
+	}
+	return req.status, nil
+}

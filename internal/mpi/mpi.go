@@ -1,0 +1,487 @@
+// Package mpi is a single-threaded, polling-progress MPI subset layered on
+// the emulated VIA provider, mirroring the structure of MVICH (MPICH's ADI
+// over VIPL) that the paper modifies.
+//
+// The package provides the pieces the paper's experiments exercise: the four
+// point-to-point communication modes with an eager/rendezvous protocol
+// switch at 5000 bytes, credit-based flow control over pre-posted per-VI
+// receive buffers, MPICH-style (context, source, tag) matching including
+// MPI_ANY_SOURCE and MPI_ANY_TAG, nonblocking requests with a weak-progress
+// device-check loop, MPICH-1.2 collective algorithms, and pluggable
+// connection management (static client-server, static peer-to-peer, or the
+// paper's on-demand policy) selected per run.
+//
+// Programs are Go functions receiving a *Rank; Run launches one simulated
+// process per rank on the virtual cluster and returns per-rank resource and
+// timing statistics used by the experiment harness.
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"viampi/internal/core"
+	"viampi/internal/fabric"
+	"viampi/internal/simnet"
+	"viampi/internal/trace"
+	"viampi/internal/via"
+)
+
+// Config describes one MPI job on the simulated cluster.
+type Config struct {
+	Procs int // number of ranks (required)
+
+	// Device selects the VIA personality: "clan" (default) or "bvia".
+	Device string
+	// ProcsPerNode sets process placement; 0 defaults to 4 on clan (the
+	// paper's quad-CPU nodes) and 1 on bvia (its Berkeley VIA limitation).
+	ProcsPerNode int
+
+	// Policy selects connection management: "static-cs", "static-p2p" or
+	// "ondemand" (default).
+	Policy string
+
+	// Placement maps ranks onto nodes: "block" (default — ranks 0..p-1 on
+	// node 0, the usual mpirun behaviour) or "roundrobin" (rank r on node
+	// r mod nodes — neighbours land on different nodes, trading loopback
+	// for wire traffic).
+	Placement string
+
+	// WaitMode selects polling (default) or spinwait completion.
+	WaitMode via.WaitMode
+
+	// EagerThreshold is the eager/rendezvous protocol switch in bytes
+	// (default 5000, the MVICH value the paper cites).
+	EagerThreshold int
+	// CreditCount is the number of pre-posted receive buffers (and thus
+	// flow-control credits) per VI; default 24, which with the 5 kB eager
+	// buffers pins ~120 kB per VI as in MVICH.
+	CreditCount int
+
+	// DynamicCredits implements the paper's stated future work (§6):
+	// "combination of on-demand connection establishment and dynamic
+	// flow-control on each VI connection". Each channel starts with
+	// InitialCredits pre-posted buffers and doubles its pool toward
+	// CreditCount as traffic warrants, so the pinned footprint tracks
+	// per-peer traffic instead of the worst case.
+	DynamicCredits bool
+	// InitialCredits is the starting pool size under DynamicCredits
+	// (default 4, the minimum the credit-reservation rule needs).
+	InitialCredits int
+
+	Seed     int64
+	Deadline simnet.Duration // abort guard on virtual time; 0 = none
+
+	// UnsafeNoSendFifo disables the paper's pre-posted send FIFO (§3.4):
+	// sends issued before a connection completes are posted straight to the
+	// VIA send queue, where the architecture discards them. This exists
+	// ONLY as an ablation — it demonstrates the message loss the FIFO
+	// prevents and must never be set otherwise.
+	UnsafeNoSendFifo bool
+
+	// TuneCost and TuneFabric allow experiments to perturb the device
+	// model after defaults are applied.
+	TuneCost   func(*via.CostModel)
+	TuneFabric func(*fabric.Config)
+
+	// Trace, when set, records every point-to-point message (user and
+	// collective-internal) for communication-pattern analysis.
+	Trace *trace.Recorder
+
+	// Profile enables per-call time accounting (PMPI-style); results are
+	// returned in RankStats.Profile and rendered by World.WriteProfile.
+	Profile bool
+
+	// BarrierAlg selects the barrier algorithm: "rd" (default, recursive
+	// doubling), "dissemination", or "tree" (binomial combine+broadcast).
+	// AllreduceAlg selects "rd" (default) or "reduce-bcast". These exist
+	// for the connection-footprint vs. latency ablation.
+	BarrierAlg   string
+	AllreduceAlg string
+
+	cost via.CostModel // resolved by normalize
+}
+
+func (c *Config) eagerBufSize() int { return hdrSize + c.EagerThreshold }
+
+// normalize applies defaults and resolves the device profile.
+func (c *Config) normalize() (fabric.Config, error) {
+	if c.Procs <= 0 {
+		return fabric.Config{}, fmt.Errorf("mpi: Procs must be positive, got %d", c.Procs)
+	}
+	if c.Device == "" {
+		c.Device = "clan"
+	}
+	if c.Policy == "" {
+		c.Policy = "ondemand"
+	}
+	if c.EagerThreshold == 0 {
+		c.EagerThreshold = 5000
+	}
+	if c.CreditCount == 0 {
+		c.CreditCount = 24
+	}
+	if c.CreditCount < 4 {
+		return fabric.Config{}, fmt.Errorf("mpi: CreditCount %d too small (min 4)", c.CreditCount)
+	}
+	if c.InitialCredits == 0 {
+		c.InitialCredits = 4
+	}
+	if c.DynamicCredits && (c.InitialCredits < 4 || c.InitialCredits > c.CreditCount) {
+		return fabric.Config{}, fmt.Errorf("mpi: InitialCredits %d outside [4, CreditCount=%d]",
+			c.InitialCredits, c.CreditCount)
+	}
+	var fcfg fabric.Config
+	switch c.Placement {
+	case "", "block", "roundrobin":
+	default:
+		return fabric.Config{}, fmt.Errorf("mpi: unknown placement %q", c.Placement)
+	}
+	switch c.Device {
+	case "clan":
+		if c.ProcsPerNode == 0 {
+			c.ProcsPerNode = 4
+		}
+		nodes := (c.Procs + c.ProcsPerNode - 1) / c.ProcsPerNode
+		fcfg = via.ClanFabric(nodes, c.ProcsPerNode)
+		c.cost = via.ClanCost()
+	case "bvia":
+		if c.ProcsPerNode == 0 {
+			c.ProcsPerNode = 1
+		}
+		nodes := (c.Procs + c.ProcsPerNode - 1) / c.ProcsPerNode
+		fcfg = via.BviaFabric(nodes, c.ProcsPerNode)
+		c.cost = via.BviaCost()
+	case "ib":
+		if c.ProcsPerNode == 0 {
+			c.ProcsPerNode = 4
+		}
+		nodes := (c.Procs + c.ProcsPerNode - 1) / c.ProcsPerNode
+		fcfg = via.IbFabric(nodes, c.ProcsPerNode)
+		c.cost = via.IbCost()
+	default:
+		return fabric.Config{}, fmt.Errorf("mpi: unknown device %q", c.Device)
+	}
+	if c.TuneCost != nil {
+		c.TuneCost(&c.cost)
+	}
+	if c.TuneFabric != nil {
+		c.TuneFabric(&fcfg)
+	}
+	return fcfg, nil
+}
+
+// RankStats captures one rank's resource usage and timings — the raw
+// material for the paper's Table 2, Table 3 and Figures 6-8.
+type RankStats struct {
+	Rank          int
+	InitTime      simnet.Duration
+	AppTime       simnet.Duration // time spent inside the user main
+	VisCreated    int
+	VisUsed       int
+	Utilization   float64 // VisUsed / VisCreated (1.0 when none created)
+	DistinctDests int     // peers this rank addressed user sends to
+	PinnedPeak    int64   // peak registered memory in bytes
+	MsgsSent      int64   // VIA-level messages (incl. protocol packets)
+	BytesSent     int64
+	WaitWakeups   int64
+	ComputeTime   simnet.Duration
+	Profile       map[string]*CallStat // nil unless Config.Profile
+}
+
+// World is the result of a run.
+type World struct {
+	Cfg     Config
+	Elapsed simnet.Duration // virtual time when the last rank finished
+	Ranks   []RankStats
+	Net     *via.Network // post-run network counters (drops, discards)
+}
+
+// AvgVIs returns the mean VIs created per rank (Table 2's first column).
+func (w *World) AvgVIs() float64 {
+	t := 0.0
+	for _, rs := range w.Ranks {
+		t += float64(rs.VisCreated)
+	}
+	return t / float64(len(w.Ranks))
+}
+
+// AvgUtilization returns the mean per-rank resource utilization.
+func (w *World) AvgUtilization() float64 {
+	t := 0.0
+	for _, rs := range w.Ranks {
+		t += rs.Utilization
+	}
+	return t / float64(len(w.Ranks))
+}
+
+// AvgInit returns the mean MPI_Init duration (Figure 8 reports the average
+// across processes).
+func (w *World) AvgInit() simnet.Duration {
+	var t simnet.Duration
+	for _, rs := range w.Ranks {
+		t += rs.InitTime
+	}
+	return t / simnet.Duration(len(w.Ranks))
+}
+
+// MaxAppTime returns the longest per-rank application time (the NPB
+// "CPU time" analogue).
+func (w *World) MaxAppTime() simnet.Duration {
+	var m simnet.Duration
+	for _, rs := range w.Ranks {
+		if rs.AppTime > m {
+			m = rs.AppTime
+		}
+	}
+	return m
+}
+
+// TotalPinnedPeak sums peak pinned memory across ranks.
+func (w *World) TotalPinnedPeak() int64 {
+	var t int64
+	for _, rs := range w.Ranks {
+		t += rs.PinnedPeak
+	}
+	return t
+}
+
+// Run executes main on cfg.Procs simulated ranks and returns the collected
+// statistics. It is the analogue of mpirun: it boots the virtual cluster,
+// performs the out-of-band process-table exchange, runs MPI_Init under the
+// configured connection policy, invokes main, and finalizes.
+func Run(cfg Config, main func(r *Rank)) (*World, error) {
+	fcfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	sim := simnet.New(cfg.Seed)
+	if cfg.Deadline > 0 {
+		sim.SetDeadline(simnet.Time(cfg.Deadline))
+	}
+	net := via.NewNetwork(sim, fcfg, cfg.cost)
+
+	n := cfg.Procs
+	world := &World{Cfg: cfg, Ranks: make([]RankStats, n), Net: net}
+	addrs := make([]via.Addr, n)
+	opened := 0
+
+	for i := 0; i < n; i++ {
+		i := i
+		sim.Spawn(fmt.Sprintf("rank%d", i), 0, func(p *simnet.Proc) {
+			var port *via.Port
+			var err error
+			if cfg.Placement == "roundrobin" {
+				port, err = net.OpenOnNode(p, i%fcfg.Nodes)
+			} else {
+				port, err = net.Open(p)
+			}
+			if err != nil {
+				sim.Failf("mpi: rank %d open: %v", i, err)
+				return
+			}
+			addrs[i] = port.Addr()
+			opened++
+			for opened < n {
+				p.Sleep(5 * simnet.Microsecond)
+			}
+			r := &Rank{
+				proc: p, port: port, cfg: &cfg,
+				rank: i, size: n,
+				chans:    make([]*chanState, n),
+				viToChan: make(map[*via.VI]*chanState),
+				sendReqs: make(map[int64]*Request),
+				recvReqs: make(map[int64]*Request),
+			}
+			r.cq = via.NewCQ(port)
+			r.ctxCounter = 2 // world uses contexts 0 (pt2pt) and 1 (collective)
+			if cfg.Profile {
+				r.prof = &profiler{proc: p, stats: map[string]*CallStat{}}
+			}
+
+			r.bootstrap(addrs)
+
+			mcfg := core.Config{
+				Rank: i, Size: n, Port: port, Addrs: addrs, Mode: cfg.WaitMode,
+				NewVi:          func() (*via.VI, error) { return port.CreateViCQ(r.cq) },
+				PrepareChannel: r.prepareChannel,
+				OnChannelUp:    r.onChannelUp,
+			}
+			mgr, err := core.NewManager(cfg.Policy, mcfg)
+			if err != nil {
+				sim.Failf("mpi: rank %d: %v", i, err)
+				return
+			}
+			r.mgr = mgr
+			if err := mgr.Init(); err != nil {
+				sim.Failf("mpi: rank %d init: %v", i, err)
+				return
+			}
+			r.initTime = simnet.Duration(p.Now())
+			r.world = newComm(r, identity(n), 0)
+
+			r.appStart = p.Now()
+			main(r)
+			appTime := p.Now().Sub(r.appStart)
+
+			r.finalize()
+
+			st := port.Stats()
+			dests := 0
+			for _, cs := range r.active {
+				if cs.userSends > 0 {
+					dests++
+				}
+			}
+			util := 1.0
+			if st.VisCreated > 0 {
+				util = float64(port.VisUsed()) / float64(st.VisCreated)
+			}
+			world.Ranks[i] = RankStats{
+				Rank:          i,
+				InitTime:      r.initTime,
+				AppTime:       appTime,
+				VisCreated:    st.VisCreated,
+				VisUsed:       port.VisUsed(),
+				Utilization:   util,
+				DistinctDests: dests,
+				PinnedPeak:    port.Memory().PeakPinned(),
+				MsgsSent:      st.MsgsSent,
+				BytesSent:     st.BytesSent,
+				WaitWakeups:   st.WaitWakeups,
+				ComputeTime:   p.BusyTime(),
+			}
+			if r.prof != nil {
+				world.Ranks[i].Profile = r.prof.stats
+			}
+		})
+	}
+	if err := sim.Run(); err != nil {
+		return nil, err
+	}
+	world.Elapsed = simnet.Duration(sim.Now())
+	if net.DroppedNoDescriptor > 0 {
+		return world, fmt.Errorf("mpi: flow control violated: %d receives had no descriptor", net.DroppedNoDescriptor)
+	}
+	return world, nil
+}
+
+func identity(n int) []int {
+	r := make([]int, n)
+	for i := range r {
+		r[i] = i
+	}
+	return r
+}
+
+// bootstrap is the out-of-band process-table handshake (MVICH got this from
+// mpirun over TCP): every rank reports to rank 0, which releases the job.
+func (r *Rank) bootstrap(addrs []via.Addr) {
+	const (
+		helloTag = 0x68 // 'h'
+		goTag    = 0x67 // 'g'
+	)
+	msg := make([]byte, 5)
+	binary.LittleEndian.PutUint32(msg[1:], uint32(r.rank))
+	if r.rank == 0 {
+		seen := 1
+		for seen < r.size {
+			from, data, ok := r.port.RecvOob()
+			if !ok {
+				r.port.WaitActivity(r.cfg.WaitMode)
+				continue
+			}
+			_ = from
+			if data[0] == helloTag {
+				seen++
+			}
+		}
+		for i := 1; i < r.size; i++ {
+			r.port.SendOob(addrs[i], []byte{goTag})
+		}
+		return
+	}
+	msg[0] = helloTag
+	r.port.SendOob(addrs[0], msg)
+	for {
+		_, data, ok := r.port.RecvOob()
+		if ok && data[0] == goTag {
+			return
+		}
+		if !ok {
+			r.port.WaitActivity(r.cfg.WaitMode)
+		}
+	}
+}
+
+// finalize drains outstanding protocol obligations, runs an out-of-band
+// barrier (so every rank keeps making VIA progress until all are done — no
+// VIA connections are created by MPI_Finalize itself), and tears down.
+func (r *Rank) finalize() {
+	if r.finalized {
+		return
+	}
+	r.finalized = true
+
+	// Phase 1: drain local obligations, making progress for peers too.
+	r.waitProgress(func() bool {
+		if len(r.sendReqs) > 0 || len(r.recvReqs) > 0 {
+			return false
+		}
+		for _, q := range r.detached {
+			if !q.done {
+				return false
+			}
+		}
+		for _, cs := range r.active {
+			if len(cs.flowQ) > 0 || cs.ch.Parked() > 0 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Phase 2: out-of-band barrier with continued VIA progress.
+	const (
+		finTag  = 0x66 // 'f'
+		doneTag = 0x64 // 'd'
+	)
+	addrs := r.addrsFromManager()
+	if r.rank == 0 {
+		seen := 1
+		for seen < r.size {
+			r.progress()
+			if _, data, ok := r.port.RecvOob(); ok {
+				if data[0] == finTag {
+					seen++
+				}
+				continue
+			}
+			r.port.WaitActivityTimeout(r.cfg.WaitMode, 200*simnet.Microsecond)
+		}
+		for i := 1; i < r.size; i++ {
+			r.port.SendOob(addrs[i], []byte{doneTag})
+		}
+	} else {
+		r.port.SendOob(addrs[0], []byte{finTag})
+		for {
+			r.progress()
+			if _, data, ok := r.port.RecvOob(); ok && data[0] == doneTag {
+				break
+			}
+			r.port.WaitActivityTimeout(r.cfg.WaitMode, 200*simnet.Microsecond)
+		}
+	}
+}
+
+// addrsFromManager rebuilds the rank->address table for finalize messaging.
+func (r *Rank) addrsFromManager() []via.Addr {
+	// The bootstrap table is position-stable: world rank i owns port i in
+	// spawn order, but we avoid relying on that by asking the network.
+	ports := r.port.Network().Ports()
+	addrs := make([]via.Addr, len(ports))
+	for i, p := range ports {
+		addrs[i] = p.Addr()
+	}
+	return addrs
+}

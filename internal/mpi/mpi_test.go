@@ -1,0 +1,893 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"viampi/internal/simnet"
+)
+
+// testCfg returns a small default config with a safety deadline.
+func testCfg(procs int) Config {
+	return Config{Procs: procs, Deadline: 120 * simnet.Second}
+}
+
+// runWorld runs main and fails the test on any launch or drain error.
+func runWorld(t *testing.T, cfg Config, main func(r *Rank)) *World {
+	t.Helper()
+	w, err := Run(cfg, main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestRunTrivial(t *testing.T) {
+	w := runWorld(t, testCfg(4), func(r *Rank) {})
+	if len(w.Ranks) != 4 {
+		t.Fatalf("ranks = %d", len(w.Ranks))
+	}
+	if w.Elapsed <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Procs: 0}, func(r *Rank) {}); err == nil {
+		t.Error("expected error for 0 procs")
+	}
+	if _, err := Run(Config{Procs: 2, Device: "quantum"}, func(r *Rank) {}); err == nil {
+		t.Error("expected error for unknown device")
+	}
+	if _, err := Run(Config{Procs: 2, Policy: "psychic"}, func(r *Rank) {}); err == nil {
+		t.Error("expected error for unknown policy")
+	}
+	if _, err := Run(Config{Procs: 2, CreditCount: 2}, func(r *Rank) {}); err == nil {
+		t.Error("expected error for tiny credit count")
+	}
+}
+
+func allSetups() []Config {
+	var cfgs []Config
+	for _, dev := range []string{"clan", "bvia"} {
+		for _, pol := range []string{"static-cs", "static-p2p", "ondemand"} {
+			c := testCfg(2)
+			c.Device = dev
+			c.Policy = pol
+			cfgs = append(cfgs, c)
+		}
+	}
+	return cfgs
+}
+
+func TestSendRecvAllPoliciesAndDevices(t *testing.T) {
+	for _, cfg := range allSetups() {
+		cfg := cfg
+		t.Run(cfg.Device+"/"+cfg.Policy, func(t *testing.T) {
+			msg := []byte("payload-42")
+			runWorld(t, cfg, func(r *Rank) {
+				c := r.World()
+				if r.Rank() == 0 {
+					if err := c.Send(1, 7, msg); err != nil {
+						t.Error(err)
+					}
+				} else {
+					buf := make([]byte, 64)
+					st, err := c.Recv(buf, 0, 7)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if st.Source != 0 || st.Tag != 7 || st.Count != len(msg) {
+						t.Errorf("status = %+v", st)
+					}
+					if !bytes.Equal(buf[:st.Count], msg) {
+						t.Errorf("data = %q", buf[:st.Count])
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestEagerRendezvousSizesIntegrity(t *testing.T) {
+	sizes := []int{0, 1, 64, 4999, 5000, 5001, 10000, 100000, 300000}
+	runWorld(t, testCfg(2), func(r *Rank) {
+		c := r.World()
+		for i, sz := range sizes {
+			data := make([]byte, sz)
+			for j := range data {
+				data[j] = byte(i + j*31)
+			}
+			if r.Rank() == 0 {
+				if err := c.Send(1, i, data); err != nil {
+					t.Error(err)
+					return
+				}
+			} else {
+				buf := make([]byte, sz+8)
+				st, err := c.Recv(buf, 0, i)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if st.Count != sz || !bytes.Equal(buf[:sz], data) {
+					t.Errorf("size %d corrupted (count %d)", sz, st.Count)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestNonOvertakingSameTag(t *testing.T) {
+	const n = 40
+	runWorld(t, testCfg(2), func(r *Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				req, err := c.Isend(1, 5, []byte{byte(i)})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_ = req
+			}
+			// Drain happens at finalize.
+		} else {
+			for i := 0; i < n; i++ {
+				buf := make([]byte, 4)
+				st, err := c.Recv(buf, 0, 5)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if st.Count != 1 || buf[0] != byte(i) {
+					t.Errorf("message %d carried %d: overtaking", i, buf[0])
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestMixedEagerRendezvousOrderPreserved(t *testing.T) {
+	// Alternate small (eager) and large (rendezvous) messages on one tag;
+	// matching order must still be send order.
+	runWorld(t, testCfg(2), func(r *Rank) {
+		c := r.World()
+		sizes := []int{10, 9000, 20, 8000, 30}
+		if r.Rank() == 0 {
+			for i, sz := range sizes {
+				data := make([]byte, sz)
+				data[0] = byte(i)
+				if err := c.Send(1, 1, data); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		} else {
+			for i, sz := range sizes {
+				buf := make([]byte, 10000)
+				st, err := c.Recv(buf, 0, 1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if st.Count != sz || buf[0] != byte(i) {
+					t.Errorf("msg %d: count=%d first=%d", i, st.Count, buf[0])
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestUnexpectedMessages(t *testing.T) {
+	runWorld(t, testCfg(2), func(r *Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			for i := 0; i < 5; i++ {
+				if err := c.Send(1, i, []byte{byte(10 + i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		} else {
+			// Let them all arrive unexpected, then receive in reverse tag order.
+			r.Proc().Sleep(simnet.D(5e6))
+			for i := 4; i >= 0; i-- {
+				buf := make([]byte, 4)
+				st, err := c.Recv(buf, 0, i)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if buf[0] != byte(10+i) || st.Tag != i {
+					t.Errorf("tag %d got %d", i, buf[0])
+				}
+			}
+		}
+	})
+}
+
+func TestAnySourceAndAnyTag(t *testing.T) {
+	const workers = 5
+	w := runWorld(t, testCfg(workers+1), func(r *Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			seen := map[int]bool{}
+			for i := 0; i < workers; i++ {
+				buf := make([]byte, 8)
+				st, err := c.Recv(buf, AnySource, AnyTag)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if int(buf[0]) != st.Source || st.Tag != 100+st.Source {
+					t.Errorf("mismatched status %+v buf %d", st, buf[0])
+				}
+				seen[st.Source] = true
+			}
+			if len(seen) != workers {
+				t.Errorf("saw %d distinct sources, want %d", len(seen), workers)
+			}
+		} else {
+			if err := c.Send(0, 100+r.Rank(), []byte{byte(r.Rank())}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	// The ANY_SOURCE rule: under on-demand, rank 0 must have connected to
+	// every rank in the communicator (§3.5).
+	if got := w.Ranks[0].VisCreated; got != workers {
+		t.Errorf("rank 0 VIs = %d, want %d (ANY_SOURCE connects to all)", got, workers)
+	}
+}
+
+func TestTruncationError(t *testing.T) {
+	runWorld(t, testCfg(2), func(r *Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			if err := c.Send(1, 0, make([]byte, 100)); err != nil {
+				t.Error(err)
+			}
+		} else {
+			buf := make([]byte, 10)
+			if _, err := c.Recv(buf, 0, 0); err == nil {
+				t.Error("expected truncation error")
+			}
+		}
+	})
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	runWorld(t, testCfg(2), func(r *Rank) {
+		c := r.World()
+		other := 1 - r.Rank()
+		out := []byte{byte(r.Rank() + 50)}
+		in := make([]byte, 4)
+		st, err := c.Sendrecv(other, 3, out, other, 3, in)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if st.Count != 1 || in[0] != byte(other+50) {
+			t.Errorf("got %d from %d", in[0], st.Source)
+		}
+	})
+}
+
+func TestSsendWaitsForReceiver(t *testing.T) {
+	const delay = 20 * simnet.Millisecond
+	runWorld(t, testCfg(2), func(r *Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			start := r.Proc().Now()
+			if err := c.Ssend(1, 0, []byte("sync")); err != nil {
+				t.Error(err)
+				return
+			}
+			if took := r.Proc().Now().Sub(start); took < delay {
+				t.Errorf("Ssend completed in %v, before the receive was posted (%v)", took, delay)
+			}
+		} else {
+			r.Proc().Sleep(delay)
+			buf := make([]byte, 8)
+			if _, err := c.Recv(buf, 0, 0); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+}
+
+func TestBsendCompletesLocally(t *testing.T) {
+	runWorld(t, testCfg(2), func(r *Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			buf := []byte("buffered!")
+			if err := c.Bsend(1, 0, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			copy(buf, "XXXXXXXXX") // library copied; receiver must see original
+		} else {
+			in := make([]byte, 16)
+			st, err := c.Recv(in, 0, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if string(in[:st.Count]) != "buffered!" {
+				t.Errorf("got %q", in[:st.Count])
+			}
+		}
+	})
+}
+
+func TestFlowControlManySmallMessages(t *testing.T) {
+	// Far more in-flight sends than credits; receiver sleeps first so the
+	// unexpected queue and credit machinery both get exercised.
+	const n = 300
+	w := runWorld(t, testCfg(2), func(r *Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			var reqs []*Request
+			for i := 0; i < n; i++ {
+				req, err := c.Isend(1, 0, []byte{byte(i), byte(i >> 8)})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				reqs = append(reqs, req)
+			}
+			if err := r.Waitall(reqs...); err != nil {
+				t.Error(err)
+			}
+		} else {
+			r.Proc().Sleep(simnet.D(3e6))
+			for i := 0; i < n; i++ {
+				buf := make([]byte, 4)
+				if _, err := c.Recv(buf, 0, 0); err != nil {
+					t.Error(err)
+					return
+				}
+				if int(buf[0])|int(buf[1])<<8 != i {
+					t.Errorf("message %d out of order", i)
+					return
+				}
+			}
+		}
+	})
+	if w.Net.DroppedNoDescriptor != 0 {
+		t.Fatalf("flow control dropped %d", w.Net.DroppedNoDescriptor)
+	}
+}
+
+// TestSymmetricSaturationNoDeadlock floods both directions far beyond the
+// credit count before either side receives: the credit-return path must
+// bypass the blocked flow queues (regression test for mutual starvation).
+func TestSymmetricSaturationNoDeadlock(t *testing.T) {
+	const n = 400
+	cfg := testCfg(2)
+	cfg.CreditCount = 8
+	runWorld(t, cfg, func(r *Rank) {
+		c := r.World()
+		other := 1 - r.Rank()
+		var reqs []*Request
+		for i := 0; i < n; i++ {
+			q, err := c.Isend(other, 0, []byte{byte(i)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			reqs = append(reqs, q)
+		}
+		buf := make([]byte, 4)
+		for i := 0; i < n; i++ {
+			if _, err := c.Recv(buf, other, 0); err != nil {
+				t.Error(err)
+				return
+			}
+			if buf[0] != byte(i) {
+				t.Errorf("message %d out of order", i)
+				return
+			}
+		}
+		if err := r.Waitall(reqs...); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestSelfSendRecv(t *testing.T) {
+	runWorld(t, testCfg(2), func(r *Rank) {
+		c := r.World()
+		me := r.Rank()
+		req, err := c.Isend(me, 9, []byte{0xAB})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !req.Done() {
+			t.Error("self send not locally complete")
+		}
+		buf := make([]byte, 4)
+		st, err := c.Recv(buf, me, 9)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if buf[0] != 0xAB || st.Source != me {
+			t.Errorf("self recv got %x from %d", buf[0], st.Source)
+		}
+	})
+}
+
+func TestProbeAndIprobe(t *testing.T) {
+	runWorld(t, testCfg(2), func(r *Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			r.Proc().Sleep(simnet.D(1e6))
+			if err := c.Send(1, 42, make([]byte, 123)); err != nil {
+				t.Error(err)
+			}
+		} else {
+			if _, ok := c.Iprobe(0, 42); ok {
+				t.Error("Iprobe true before send")
+			}
+			st := c.Probe(0, 42)
+			if st.Count != 123 || st.Tag != 42 {
+				t.Errorf("probe status %+v", st)
+			}
+			// The message is still there.
+			buf := make([]byte, 128)
+			st2, err := c.Recv(buf, 0, 42)
+			if err != nil || st2.Count != 123 {
+				t.Errorf("recv after probe: %v %+v", err, st2)
+			}
+		}
+	})
+}
+
+func TestTestAndWaitall(t *testing.T) {
+	runWorld(t, testCfg(2), func(r *Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			r.Proc().Sleep(simnet.D(2e6))
+			if err := c.Send(1, 0, []byte("x")); err != nil {
+				t.Error(err)
+			}
+		} else {
+			buf := make([]byte, 4)
+			req, err := c.Irecv(buf, 0, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if done, _ := r.Test(req); done {
+				t.Error("Test true before message sent")
+			}
+			if err := r.Wait(req); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+}
+
+func TestIssendAndRsend(t *testing.T) {
+	runWorld(t, testCfg(2), func(r *Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			q, err := c.Issend(1, 0, []byte("sync-nb"))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if q.Done() {
+				t.Error("Issend complete before matching receive")
+			}
+			if err := r.Wait(q); err != nil {
+				t.Error(err)
+			}
+			if q.Err() != nil {
+				t.Error(q.Err())
+			}
+			// Ready-mode send: receiver posted its Irecv already.
+			if err := c.Rsend(1, 1, []byte("ready")); err != nil {
+				t.Error(err)
+			}
+		} else {
+			buf := make([]byte, 16)
+			rq, err := c.Irecv(buf, 0, 1) // pre-post for the Rsend
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			buf2 := make([]byte, 16)
+			st, err := c.Recv(buf2, 0, 0)
+			if err != nil || string(buf2[:st.Count]) != "sync-nb" {
+				t.Errorf("issend recv: %v %q", err, buf2[:st.Count])
+			}
+			if err := r.Wait(rq); err != nil {
+				t.Error(err)
+			}
+			if rq.Status().Count != 5 {
+				t.Errorf("rsend count = %d", rq.Status().Count)
+			}
+		}
+	})
+}
+
+func TestAccessors(t *testing.T) {
+	const n = 3
+	w := runWorld(t, testCfg(n), func(r *Rank) {
+		if r.Size() != n || r.World().Size() != n {
+			t.Error("Size mismatch")
+		}
+		if r.World().WorldRank(1) != 1 {
+			t.Error("WorldRank")
+		}
+		if r.Port() == nil || r.Manager() == nil || r.Proc() == nil {
+			t.Error("nil accessors")
+		}
+		if r.Manager().Name() != "ondemand" {
+			t.Errorf("manager name %q", r.Manager().Name())
+		}
+		if r.InitTime() <= 0 {
+			t.Error("InitTime not recorded")
+		}
+	})
+	if w.TotalPinnedPeak() != 0 {
+		t.Errorf("pinned %d for a run with no traffic", w.TotalPinnedPeak())
+	}
+}
+
+func TestAbort(t *testing.T) {
+	cfg := testCfg(4)
+	_, err := Run(cfg, func(r *Rank) {
+		if r.Rank() == 2 {
+			r.Proc().Sleep(simnet.D(1e6))
+			r.Abort(77, "fatal input error")
+		}
+		// Everyone else blocks forever; Abort must still end the job.
+		buf := make([]byte, 4)
+		_, _ = r.World().Recv(buf, AnySource, AnyTag)
+	})
+	if err == nil {
+		t.Fatal("Abort did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "Abort(77)") || !strings.Contains(err.Error(), "fatal input") {
+		t.Fatalf("abort error = %v", err)
+	}
+}
+
+func TestWtimeAdvances(t *testing.T) {
+	runWorld(t, testCfg(1), func(r *Rank) {
+		t0 := r.Wtime()
+		r.Compute(0.001)
+		if r.Wtime()-t0 < 0.001 {
+			t.Errorf("Wtime advanced %v, want >= 1ms", r.Wtime()-t0)
+		}
+	})
+}
+
+func TestRingStatsByPolicy(t *testing.T) {
+	ring := func(r *Rank) {
+		c := r.World()
+		n, me := c.Size(), c.Rank()
+		out := []byte{byte(me)}
+		in := make([]byte, 4)
+		if _, err := c.Sendrecv((me+1)%n, 0, out, (me+n-1)%n, 0, in); err != nil {
+			t.Error(err)
+			return
+		}
+		if in[0] != byte((me+n-1)%n) {
+			t.Errorf("rank %d got %d", me, in[0])
+		}
+	}
+	const n = 8
+	for _, pol := range []string{"static-p2p", "ondemand"} {
+		cfg := testCfg(n)
+		cfg.Policy = pol
+		w := runWorld(t, cfg, ring)
+		for _, rs := range w.Ranks {
+			switch pol {
+			case "ondemand":
+				if rs.VisCreated != 2 || rs.VisUsed != 2 {
+					t.Errorf("%s rank %d: created=%d used=%d, want 2/2", pol, rs.Rank, rs.VisCreated, rs.VisUsed)
+				}
+				if rs.Utilization != 1.0 {
+					t.Errorf("%s rank %d: utilization %v", pol, rs.Rank, rs.Utilization)
+				}
+			case "static-p2p":
+				if rs.VisCreated != n-1 {
+					t.Errorf("%s rank %d: created=%d, want %d", pol, rs.Rank, rs.VisCreated, n-1)
+				}
+				if rs.VisUsed != 2 {
+					t.Errorf("%s rank %d: used=%d, want 2", pol, rs.Rank, rs.VisUsed)
+				}
+			}
+			if rs.DistinctDests != 1 {
+				t.Errorf("%s rank %d: dests=%d, want 1", pol, rs.Rank, rs.DistinctDests)
+			}
+		}
+		// Pinned memory scales with created VIs.
+		perVI := int64(cfg.eagerBufSize()) // one buffer; pool is CreditCount of them
+		_ = perVI
+		if pol == "ondemand" && w.Ranks[0].PinnedPeak >= w.Ranks[0].PinnedPeak*int64(n-1)/2 && n > 3 {
+			// sanity guard only; precise check below
+			_ = pol
+		}
+	}
+}
+
+func TestPinnedMemoryScalesWithPolicy(t *testing.T) {
+	const n = 8
+	pinned := map[string]int64{}
+	for _, pol := range []string{"static-p2p", "ondemand"} {
+		cfg := testCfg(n)
+		cfg.Policy = pol
+		w := runWorld(t, cfg, func(r *Rank) {
+			c := r.World()
+			me := c.Rank()
+			out := []byte{1}
+			in := make([]byte, 4)
+			if _, err := c.Sendrecv((me+1)%n, 0, out, (me+n-1)%n, 0, in); err != nil {
+				t.Error(err)
+			}
+		})
+		pinned[pol] = w.Ranks[0].PinnedPeak
+	}
+	// Static pins (n-1)/2 = 3.5x the on-demand pools.
+	if pinned["static-p2p"] <= 3*pinned["ondemand"] {
+		t.Errorf("static pinned %d not >> ondemand %d", pinned["static-p2p"], pinned["ondemand"])
+	}
+}
+
+func TestInitTimeByPolicyShape(t *testing.T) {
+	// Figure 8: on-demand < static-p2p < static-cs.
+	const n = 12
+	times := map[string]simnet.Duration{}
+	for _, pol := range []string{"static-cs", "static-p2p", "ondemand"} {
+		cfg := testCfg(n)
+		cfg.Policy = pol
+		w := runWorld(t, cfg, func(r *Rank) {})
+		times[pol] = w.AvgInit()
+	}
+	if !(times["ondemand"] < times["static-p2p"] && times["static-p2p"] < times["static-cs"]) {
+		t.Errorf("init times out of shape: %v", times)
+	}
+}
+
+func TestDetachedBsendDrainedAtFinalize(t *testing.T) {
+	runWorld(t, testCfg(2), func(r *Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			if err := c.Bsend(1, 0, []byte("late")); err != nil {
+				t.Error(err)
+			}
+			// Exit immediately; finalize must push it out.
+		} else {
+			buf := make([]byte, 8)
+			st, err := c.Recv(buf, 0, 0)
+			if err != nil || string(buf[:st.Count]) != "late" {
+				t.Errorf("bsend at exit: %v %q", err, buf[:st.Count])
+			}
+		}
+	})
+}
+
+func TestManyRanksSmoke(t *testing.T) {
+	const n = 32
+	w := runWorld(t, testCfg(n), func(r *Rank) {
+		c := r.World()
+		me := c.Rank()
+		out := []byte{byte(me)}
+		in := make([]byte, 4)
+		if _, err := c.Sendrecv((me+1)%n, 0, out, (me+n-1)%n, 0, in); err != nil {
+			t.Error(err)
+		}
+	})
+	if len(w.Ranks) != n {
+		t.Fatal("missing ranks")
+	}
+}
+
+func TestWorldAggregates(t *testing.T) {
+	const n = 4
+	w := runWorld(t, testCfg(n), func(r *Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			if err := c.Send(1, 0, []byte("a")); err != nil {
+				t.Error(err)
+			}
+		} else if r.Rank() == 1 {
+			buf := make([]byte, 4)
+			if _, err := c.Recv(buf, 0, 0); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if got := w.AvgVIs(); got != 0.5 { // two ranks with 1 VI, two with 0
+		t.Errorf("AvgVIs = %v, want 0.5", got)
+	}
+	if w.AvgUtilization() != 1.0 {
+		t.Errorf("AvgUtilization = %v, want 1.0 under on-demand", w.AvgUtilization())
+	}
+	if w.AvgInit() <= 0 || w.MaxAppTime() < 0 {
+		t.Error("aggregate timings not populated")
+	}
+}
+
+func TestRendezvousManyLarge(t *testing.T) {
+	// Several interleaved rendezvous transfers in both directions.
+	const n = 6
+	runWorld(t, testCfg(2), func(r *Rank) {
+		c := r.World()
+		other := 1 - r.Rank()
+		var reqs []*Request
+		bufs := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			out := make([]byte, 50000+i)
+			for j := range out {
+				out[j] = byte(j * (i + 1 + r.Rank()))
+			}
+			sq, err := c.Isend(other, i, out)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			bufs[i] = make([]byte, 50010)
+			rq, err := c.Irecv(bufs[i], other, i)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			reqs = append(reqs, sq, rq)
+		}
+		if err := r.Waitall(reqs...); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < n; i++ {
+			want := make([]byte, 50000+i)
+			for j := range want {
+				want[j] = byte(j * (i + 1 + other))
+			}
+			if !bytes.Equal(bufs[i][:len(want)], want) {
+				t.Errorf("rendezvous %d corrupted", i)
+				return
+			}
+		}
+	})
+}
+
+func TestPolicyEquivalenceProperty(t *testing.T) {
+	// The same program must compute identical results under every policy ×
+	// device combination (connection management is invisible to semantics).
+	results := map[string][]byte{}
+	for _, dev := range []string{"clan", "bvia"} {
+		for _, pol := range []string{"static-cs", "static-p2p", "ondemand"} {
+			cfg := testCfg(6)
+			cfg.Device = dev
+			cfg.Policy = pol
+			var final []byte
+			runWorld(t, cfg, func(r *Rank) {
+				c := r.World()
+				me := c.Rank()
+				n := c.Size()
+				// Rotating exchange: accumulate a checksum of everything seen.
+				sum := byte(me)
+				for round := 0; round < 3; round++ {
+					out := []byte{sum}
+					in := make([]byte, 4)
+					if _, err := c.Sendrecv((me+1+round)%n, round, out, (me+n-1-round+2*n)%n, round, in); err != nil {
+						t.Error(err)
+						return
+					}
+					sum = sum*31 + in[0]
+				}
+				all := make([]byte, n)
+				if err := c.Allgather([]byte{sum}, all); err != nil {
+					t.Error(err)
+					return
+				}
+				if me == 0 {
+					final = all
+				}
+			})
+			key := dev + "/" + pol
+			results[key] = final
+		}
+	}
+	var ref []byte
+	var refKey string
+	for k, v := range results {
+		if ref == nil {
+			ref, refKey = v, k
+			continue
+		}
+		if !bytes.Equal(ref, v) {
+			t.Errorf("results differ: %s=%v vs %s=%v", refKey, ref, k, v)
+		}
+	}
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	h := hdr{kind: pktCts, srcRank: 3, tag: -1, ctx: 7, size: 123456,
+		credits: 9, sreq: 1 << 40, rreq: -5, rkey: 0xdeadbeef}
+	payload := []byte("0123456789")
+	b := encode(h, payload)
+	h2, p2, err := decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h || !bytes.Equal(p2, payload) {
+		t.Fatalf("round trip mismatch: %+v %q", h2, p2)
+	}
+	if _, _, err := decode(b[:10]); err == nil {
+		t.Fatal("short packet not rejected")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for _, m := range []SendMode{ModeStandard, ModeSynchronous, ModeReady, ModeBuffered} {
+		if m.String() == "" {
+			t.Error("empty mode string")
+		}
+	}
+	for _, k := range []byte{pktEager, pktRts, pktCts, pktFin, pktCredit, 99} {
+		if pktKindString(k) == "" {
+			t.Error("empty kind string")
+		}
+	}
+}
+
+func TestDistinctDestsCount(t *testing.T) {
+	const n = 6
+	w := runWorld(t, testCfg(n), func(r *Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			for d := 1; d <= 3; d++ {
+				if err := c.Send(d, 0, []byte("x")); err != nil {
+					t.Error(err)
+				}
+			}
+		} else if r.Rank() <= 3 {
+			buf := make([]byte, 4)
+			if _, err := c.Recv(buf, 0, 0); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if w.Ranks[0].DistinctDests != 3 {
+		t.Errorf("rank 0 dests = %d, want 3", w.Ranks[0].DistinctDests)
+	}
+	if w.Ranks[5].DistinctDests != 0 {
+		t.Errorf("rank 5 dests = %d, want 0", w.Ranks[5].DistinctDests)
+	}
+}
+
+func ExampleRun() {
+	w, err := Run(Config{Procs: 2, Deadline: 10 * simnet.Second}, func(r *Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			_ = c.Send(1, 0, []byte("hello"))
+		} else {
+			buf := make([]byte, 8)
+			st, _ := c.Recv(buf, 0, 0)
+			fmt.Printf("rank 1 got %q from %d\n", buf[:st.Count], st.Source)
+		}
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("ranks: %d\n", len(w.Ranks))
+	// Output:
+	// rank 1 got "hello" from 0
+	// ranks: 2
+}

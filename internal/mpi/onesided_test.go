@@ -1,0 +1,177 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWinPutFence(t *testing.T) {
+	const n = 4
+	runWorld(t, testCfg(n), func(r *Rank) {
+		c := r.World()
+		me := c.Rank()
+		// Each rank exposes n slots of 8 bytes; every rank Puts its id into
+		// its slot in every window (an all-to-all via one-sided writes).
+		buf := make([]byte, 8*n)
+		w, err := c.WinCreate(buf)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		payload := bytes.Repeat([]byte{byte(me + 1)}, 8)
+		for target := 0; target < n; target++ {
+			if err := w.Put(target, 8*me, payload); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if err := w.Fence(); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < 8; j++ {
+				if buf[8*i+j] != byte(i+1) {
+					t.Errorf("rank %d slot %d byte %d = %d", me, i, j, buf[8*i+j])
+					return
+				}
+			}
+		}
+		if err := w.Free(); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestWinEpochsOrdered(t *testing.T) {
+	runWorld(t, testCfg(2), func(r *Rank) {
+		c := r.World()
+		buf := make([]byte, 16)
+		w, err := c.WinCreate(buf)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for epoch := 1; epoch <= 5; epoch++ {
+			if r.Rank() == 0 {
+				if err := w.Put(1, 0, []byte{byte(epoch)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := w.Fence(); err != nil {
+				t.Error(err)
+				return
+			}
+			if r.Rank() == 1 && buf[0] != byte(epoch) {
+				t.Errorf("epoch %d: window holds %d", epoch, buf[0])
+				return
+			}
+		}
+		if err := w.Free(); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestWinLargePut(t *testing.T) {
+	// A put bigger than the MTU fragments through the RDMA path.
+	runWorld(t, testCfg(2), func(r *Rank) {
+		c := r.World()
+		buf := make([]byte, 200000)
+		w, err := c.WinCreate(buf)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if r.Rank() == 0 {
+			big := make([]byte, 150000)
+			for i := range big {
+				big[i] = byte(i * 13)
+			}
+			if err := w.Put(1, 1000, big); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if err := w.Fence(); err != nil {
+			t.Error(err)
+			return
+		}
+		if r.Rank() == 1 {
+			for i := 0; i < 150000; i += 997 {
+				if buf[1000+i] != byte(i*13) {
+					t.Errorf("offset %d corrupted", i)
+					return
+				}
+			}
+		}
+		if err := w.Free(); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestWinValidation(t *testing.T) {
+	runWorld(t, testCfg(2), func(r *Rank) {
+		c := r.World()
+		w, err := c.WinCreate(make([]byte, 8))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := w.Put(9, 0, []byte{1}); err == nil {
+			t.Error("bad target accepted")
+		}
+		if err := w.Put(r.Rank(), 7, []byte{1, 2}); err == nil {
+			t.Error("out-of-bounds self put accepted")
+		}
+		if err := w.Free(); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := w.Put(0, 0, []byte{1}); err == nil {
+			t.Error("put on freed window accepted")
+		}
+		if err := w.Fence(); err == nil {
+			t.Error("fence on freed window accepted")
+		}
+		if err := w.Free(); err != nil {
+			t.Error("double free should be a no-op")
+		}
+	})
+}
+
+// TestWinOnDemandFootprint: one-sided traffic drives on-demand connections
+// exactly like two-sided traffic — a rank that only Puts to one neighbour
+// holds one VI.
+func TestWinOnDemandFootprint(t *testing.T) {
+	const n = 6
+	w := runWorld(t, testCfg(n), func(r *Rank) {
+		c := r.World()
+		me := c.Rank()
+		win, err := c.WinCreate(make([]byte, 64))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := win.Put((me+1)%n, 0, []byte{byte(me)}); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := win.Fence(); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := win.Free(); err != nil {
+			t.Error(err)
+		}
+	})
+	// Ring puts + fence flushes + allgather/alltoall in WinCreate/Fence...
+	// the alltoall in Fence connects everyone, so expect N-1 here.
+	for _, rs := range w.Ranks {
+		if rs.VisCreated != n-1 {
+			t.Errorf("rank %d VIs = %d, want %d (fence alltoall connects all)", rs.Rank, rs.VisCreated, n-1)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package mpi
+
+import "fmt"
+
+// Persistent requests (MPI_Send_init / MPI_Recv_init / MPI_Start):
+// half-channels that an iterative code sets up once and restarts every
+// iteration. The real NPB SP and BT use persistent communication for their
+// face exchanges; the proxies exercise this path when built against it.
+
+// PersistentRequest is an inactive communication template; Start activates
+// it, producing the same lifecycle as an ordinary nonblocking request.
+type PersistentRequest struct {
+	c      *Comm
+	isRecv bool
+	buf    []byte // recv landing buffer, or send payload
+	peer   int
+	tag    int
+	mode   SendMode
+
+	active *Request
+}
+
+// SendInit creates a persistent standard-mode send template.
+func (c *Comm) SendInit(dst, tag int, data []byte) (*PersistentRequest, error) {
+	if dst < 0 || dst >= c.Size() {
+		return nil, fmt.Errorf("mpi: SendInit to rank %d of %d", dst, c.Size())
+	}
+	return &PersistentRequest{c: c, buf: data, peer: dst, tag: tag, mode: ModeStandard}, nil
+}
+
+// RecvInit creates a persistent receive template.
+func (c *Comm) RecvInit(buf []byte, src, tag int) (*PersistentRequest, error) {
+	if src != AnySource && (src < 0 || src >= c.Size()) {
+		return nil, fmt.Errorf("mpi: RecvInit from rank %d of %d", src, c.Size())
+	}
+	return &PersistentRequest{c: c, isRecv: true, buf: buf, peer: src, tag: tag}, nil
+}
+
+// Start activates the template. Starting an already-active request is an
+// error (the previous activation must complete first).
+func (p *PersistentRequest) Start() error {
+	if p.active != nil && !p.active.done {
+		return fmt.Errorf("mpi: Start on active persistent request")
+	}
+	var err error
+	if p.isRecv {
+		p.active, err = p.c.Irecv(p.buf, p.peer, p.tag)
+	} else {
+		p.active, err = p.c.IsendMode(p.mode, p.peer, p.tag, p.buf)
+	}
+	return err
+}
+
+// Request returns the current activation (nil before the first Start).
+// Wait/Test on it as with any nonblocking request.
+func (p *PersistentRequest) Request() *Request { return p.active }
+
+// Startall activates a set of persistent requests (MPI_Startall).
+func Startall(ps ...*PersistentRequest) error {
+	for _, p := range ps {
+		if err := p.Start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WaitallPersistent waits for every listed persistent request's current
+// activation.
+func (r *Rank) WaitallPersistent(ps ...*PersistentRequest) error {
+	reqs := make([]*Request, 0, len(ps))
+	for _, p := range ps {
+		if p.active != nil {
+			reqs = append(reqs, p.active)
+		}
+	}
+	return r.Waitall(reqs...)
+}

@@ -1,0 +1,68 @@
+package mpi
+
+import (
+	"testing"
+
+	"viampi/internal/simnet"
+)
+
+// TestPlacementPolicies: with a bandwidth-heavy ring, block placement keeps
+// most transfers on the node (loopback skips the switch hop and the
+// receive-port serialization), while round-robin pushes every hop across
+// the wire — so block must be faster. For tiny messages the two placements
+// are nearly identical on cLAN (NIC loopback is barely cheaper than the
+// wire), which is itself the faithful behaviour.
+func TestPlacementPolicies(t *testing.T) {
+	const n = 16 // 4 nodes x 4 procs on clan
+	ring := func(r *Rank) {
+		c := r.World()
+		me := c.Rank()
+		out := make([]byte, 32<<10)
+		in := make([]byte, 33<<10)
+		for i := 0; i < 10; i++ {
+			if _, err := c.Sendrecv((me+1)%n, 0, out, (me+n-1)%n, 0, in); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}
+	elapsed := map[string]simnet.Duration{}
+	for _, pl := range []string{"block", "roundrobin"} {
+		cfg := testCfg(n)
+		cfg.Placement = pl
+		w := runWorld(t, cfg, ring)
+		elapsed[pl] = w.Elapsed
+	}
+	if float64(elapsed["block"]) >= float64(elapsed["roundrobin"])*0.95 {
+		t.Errorf("block bulk ring (%v) not clearly faster than round-robin (%v)",
+			elapsed["block"], elapsed["roundrobin"])
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	cfg := testCfg(2)
+	cfg.Placement = "diagonal"
+	if _, err := Run(cfg, func(r *Rank) {}); err == nil {
+		t.Fatal("unknown placement accepted")
+	}
+}
+
+// TestPlacementEquivalence: placement must not change program results.
+func TestPlacementEquivalence(t *testing.T) {
+	prog := randProgram(7, 6)
+	results := map[string][]byte{}
+	for _, pl := range []string{"block", "roundrobin"} {
+		out := make([][]byte, 6)
+		cfg := testCfg(6)
+		cfg.Placement = pl
+		runWorld(t, cfg, func(r *Rank) { out[r.Rank()] = prog(r) })
+		flat := []byte{}
+		for _, b := range out {
+			flat = append(flat, b...)
+		}
+		results[pl] = flat
+	}
+	if string(results["block"]) != string(results["roundrobin"]) {
+		t.Fatal("placement changed program results")
+	}
+}

@@ -1,0 +1,97 @@
+package mpi
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"viampi/internal/simnet"
+)
+
+// Profiling layer (the moral equivalent of PMPI): when Config.Profile is
+// set, every blocking MPI entry point records its call count and virtual
+// time per rank. The paper's analysis style — "IS is communication bound",
+// "MG calls barrier, allreduce and bcast" — comes straight out of this kind
+// of accounting.
+
+// CallStat is one entry point's accumulated profile on one rank.
+type CallStat struct {
+	Calls int64
+	Time  simnet.Duration
+}
+
+// profiler accumulates per-call statistics for one rank. Only the
+// outermost MPI entry point on the call stack records (a Waitall inside
+// Alltoall is charged to Alltoall, not double-counted).
+type profiler struct {
+	proc  *simnet.Proc
+	stats map[string]*CallStat
+	depth int
+}
+
+// enter starts timing an entry point; the returned func stops it.
+// A nil profiler (profiling disabled) costs one branch.
+func (p *profiler) enter(name string) func() {
+	if p == nil {
+		return func() {}
+	}
+	p.depth++
+	if p.depth > 1 {
+		return func() { p.depth-- }
+	}
+	start := p.proc.Now()
+	return func() {
+		p.depth--
+		st := p.stats[name]
+		if st == nil {
+			st = &CallStat{}
+			p.stats[name] = st
+		}
+		st.Calls++
+		st.Time += p.proc.Now().Sub(start)
+	}
+}
+
+// Profile returns this rank's per-call statistics (nil unless
+// Config.Profile was set).
+func (r *Rank) Profile() map[string]*CallStat {
+	if r.prof == nil {
+		return nil
+	}
+	return r.prof.stats
+}
+
+// WriteProfile renders a rank-aggregated profile: per entry point, total
+// calls and virtual time across all ranks, sorted by time.
+func (w *World) WriteProfile(out io.Writer) {
+	agg := map[string]*CallStat{}
+	for _, rs := range w.Ranks {
+		for name, st := range rs.Profile {
+			a := agg[name]
+			if a == nil {
+				a = &CallStat{}
+				agg[name] = a
+			}
+			a.Calls += st.Calls
+			a.Time += st.Time
+		}
+	}
+	if len(agg) == 0 {
+		fmt.Fprintln(out, "profile: empty (run with Config.Profile = true)")
+		return
+	}
+	names := make([]string, 0, len(agg))
+	for n := range agg {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return agg[names[i]].Time > agg[names[j]].Time })
+	fmt.Fprintf(out, "%-12s %10s %14s %12s\n", "call", "count", "total time", "avg")
+	for _, n := range names {
+		st := agg[n]
+		avg := simnet.Duration(0)
+		if st.Calls > 0 {
+			avg = st.Time / simnet.Duration(st.Calls)
+		}
+		fmt.Fprintf(out, "%-12s %10d %14s %12s\n", n, st.Calls, st.Time, avg)
+	}
+}

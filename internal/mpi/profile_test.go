@@ -1,0 +1,70 @@
+package mpi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProfileAccounting(t *testing.T) {
+	cfg := testCfg(4)
+	cfg.Profile = true
+	w := runWorld(t, cfg, func(r *Rank) {
+		c := r.World()
+		for i := 0; i < 10; i++ {
+			if err := c.Barrier(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if r.Rank() == 0 {
+			if err := c.Send(1, 0, make([]byte, 100)); err != nil {
+				t.Error(err)
+			}
+		} else if r.Rank() == 1 {
+			buf := make([]byte, 128)
+			if _, err := c.Recv(buf, 0, 0); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	p0 := w.Ranks[0].Profile
+	if p0 == nil {
+		t.Fatal("no profile collected")
+	}
+	if p0["Barrier"] == nil || p0["Barrier"].Calls != 10 {
+		t.Fatalf("Barrier profile = %+v", p0["Barrier"])
+	}
+	if p0["Barrier"].Time <= 0 {
+		t.Fatal("Barrier time not accounted")
+	}
+	if p0["Send"] == nil || p0["Send"].Calls != 1 {
+		t.Fatalf("Send profile = %+v", p0["Send"])
+	}
+	// Nested Wait inside Barrier/Send must NOT appear separately.
+	if p0["Wait"] != nil || p0["Waitall"] != nil {
+		t.Fatalf("nested calls leaked into profile: %+v %+v", p0["Wait"], p0["Waitall"])
+	}
+	var buf bytes.Buffer
+	w.WriteProfile(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Barrier") || !strings.Contains(out, "call") {
+		t.Fatalf("WriteProfile output:\n%s", out)
+	}
+}
+
+func TestProfileDisabledByDefault(t *testing.T) {
+	w := runWorld(t, testCfg(2), func(r *Rank) {
+		if err := r.World().Barrier(); err != nil {
+			t.Error(err)
+		}
+	})
+	if w.Ranks[0].Profile != nil {
+		t.Fatal("profile collected without Config.Profile")
+	}
+	var buf bytes.Buffer
+	w.WriteProfile(&buf)
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatalf("empty profile rendering: %s", buf.String())
+	}
+}

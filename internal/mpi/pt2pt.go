@@ -1,0 +1,264 @@
+package mpi
+
+import "fmt"
+
+// Isend starts a standard-mode nonblocking send of data to dst (comm rank)
+// with the given tag.
+func (c *Comm) Isend(dst, tag int, data []byte) (*Request, error) {
+	return c.isendCtx(ModeStandard, dst, tag, data, c.ctx)
+}
+
+// IsendMode starts a nonblocking send in the given MPI communication mode.
+func (c *Comm) IsendMode(mode SendMode, dst, tag int, data []byte) (*Request, error) {
+	return c.isendCtx(mode, dst, tag, data, c.ctx)
+}
+
+// Send is the blocking standard-mode send.
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	defer c.r.prof.enter("Send")()
+	req, err := c.Isend(dst, tag, data)
+	if err != nil {
+		return err
+	}
+	return c.r.Wait(req)
+}
+
+// Ssend is the blocking synchronous-mode send: it completes only after the
+// matching receive has started (always rendezvous).
+func (c *Comm) Ssend(dst, tag int, data []byte) error {
+	defer c.r.prof.enter("Ssend")()
+	req, err := c.IsendMode(ModeSynchronous, dst, tag, data)
+	if err != nil {
+		return err
+	}
+	return c.r.Wait(req)
+}
+
+// Issend starts a nonblocking synchronous-mode send.
+func (c *Comm) Issend(dst, tag int, data []byte) (*Request, error) {
+	return c.isendCtx(ModeSynchronous, dst, tag, data, c.ctx)
+}
+
+// Rsend is the blocking ready-mode send. The transfer is identical to
+// standard mode; the caller asserts a matching receive is already posted.
+func (c *Comm) Rsend(dst, tag int, data []byte) error {
+	defer c.r.prof.enter("Rsend")()
+	req, err := c.IsendMode(ModeReady, dst, tag, data)
+	if err != nil {
+		return err
+	}
+	return c.r.Wait(req)
+}
+
+// Bsend is the buffered-mode send: it copies data into library-owned storage
+// and completes locally at once; the transfer is driven by the progress
+// engine and drained at Finalize. It is the only *local* send mode (§3.6).
+func (c *Comm) Bsend(dst, tag int, data []byte) error {
+	defer c.r.prof.enter("Bsend")()
+	cp := append([]byte(nil), data...)
+	req, err := c.isendCtx(ModeStandard, dst, tag, cp, c.ctx)
+	if err != nil {
+		return err
+	}
+	if !req.done {
+		c.r.detached = append(c.r.detached, req)
+	}
+	return nil
+}
+
+func (c *Comm) isendCtx(mode SendMode, dst, tag int, data []byte, ctx int32) (*Request, error) {
+	r := c.r
+	if dst < 0 || dst >= c.Size() {
+		return nil, fmt.Errorf("mpi: Isend to rank %d of %d", dst, c.Size())
+	}
+	world := c.ranks[dst]
+	req := &Request{r: r, dstWorld: world, mode: mode, data: data}
+
+	if r.cfg.Trace != nil {
+		r.cfg.Trace.Record(int64(r.proc.Now()), r.rank, world, len(data), tag)
+	}
+	if world == r.rank {
+		// Self-send: move bytes through the matching engine directly.
+		h := hdr{kind: pktEager, srcRank: int32(c.myrank), tag: int32(tag),
+			ctx: ctx, size: int32(len(data))}
+		if rq := r.matchPRQ(h); rq != nil {
+			r.deliverEager(rq, h, data)
+		} else {
+			cp := append([]byte(nil), data...)
+			r.umq = append(r.umq, &umsg{h: h, payload: cp})
+		}
+		req.complete()
+		return req, nil
+	}
+
+	cs, err := r.channel(world)
+	if err != nil {
+		return nil, err
+	}
+	cs.userSends++
+	if len(data) <= r.cfg.EagerThreshold && mode != ModeSynchronous {
+		r.post(cs, &pkt{
+			hdr: hdr{kind: pktEager, srcRank: int32(c.myrank), tag: int32(tag),
+				ctx: ctx, size: int32(len(data))},
+			payload: data,
+			onEmit:  req.complete, // standard mode: local completion once buffered
+		})
+		return req, nil
+	}
+
+	// Rendezvous (long messages, and every synchronous send).
+	r.nextReq++
+	id := r.nextReq
+	r.sendReqs[id] = req
+	r.post(cs, &pkt{hdr: hdr{kind: pktRts, srcRank: int32(c.myrank), tag: int32(tag),
+		ctx: ctx, size: int32(len(data)), sreq: id}})
+	return req, nil
+}
+
+// Irecv starts a nonblocking receive into buf from src (comm rank or
+// AnySource) with the given tag (or AnyTag).
+func (c *Comm) Irecv(buf []byte, src, tag int) (*Request, error) {
+	return c.irecvCtx(buf, src, tag, c.ctx)
+}
+
+// Recv is the blocking receive.
+func (c *Comm) Recv(buf []byte, src, tag int) (Status, error) {
+	defer c.r.prof.enter("Recv")()
+	req, err := c.Irecv(buf, src, tag)
+	if err != nil {
+		return Status{}, err
+	}
+	if err := c.r.Wait(req); err != nil {
+		return Status{}, err
+	}
+	return req.status, nil
+}
+
+func (c *Comm) irecvCtx(buf []byte, src, tag int, ctx int32) (*Request, error) {
+	r := c.r
+	if src != AnySource && (src < 0 || src >= c.Size()) {
+		return nil, fmt.Errorf("mpi: Irecv from rank %d of %d", src, c.Size())
+	}
+	req := &Request{r: r, isRecv: true, buf: buf, src: src, tag: tag, ctx: ctx}
+
+	// Paper §3.5: a receive from ANY_SOURCE forces connections to everyone
+	// in the communicator; §4: a specific-source receive initiates the
+	// connection to that source (the receiver side of on-demand setup).
+	if src == AnySource {
+		for _, w := range c.ranks {
+			if w == r.rank {
+				continue
+			}
+			if _, err := r.channel(w); err != nil {
+				return nil, err
+			}
+		}
+	} else if c.ranks[src] != r.rank {
+		if _, err := r.channel(c.ranks[src]); err != nil {
+			return nil, err
+		}
+	}
+
+	if u := r.matchUMQ(req); u != nil {
+		switch u.h.kind {
+		case pktEager:
+			r.deliverEager(req, u.h, u.payload)
+		case pktRts:
+			r.acceptRendezvous(req, u.h, u.cs)
+		default:
+			req.failf("mpi: unexpected queue held %s packet", pktKindString(u.h.kind))
+		}
+		return req, nil
+	}
+	r.prq = append(r.prq, req)
+	return req, nil
+}
+
+// matchUMQ finds and removes the first unexpected message matching req.
+func (r *Rank) matchUMQ(req *Request) *umsg {
+	for i, u := range r.umq {
+		if matches(req, u.h) {
+			r.umq = append(r.umq[:i], r.umq[i+1:]...)
+			return u
+		}
+	}
+	return nil
+}
+
+// Sendrecv performs a combined blocking send and receive, progressing both
+// operations together (safe against head-to-head exchanges).
+func (c *Comm) Sendrecv(dst, stag int, sdata []byte, src, rtag int, rbuf []byte) (Status, error) {
+	defer c.r.prof.enter("Sendrecv")()
+	sreq, err := c.Isend(dst, stag, sdata)
+	if err != nil {
+		return Status{}, err
+	}
+	rreq, err := c.Irecv(rbuf, src, rtag)
+	if err != nil {
+		return Status{}, err
+	}
+	if err := c.r.Waitall(sreq, rreq); err != nil {
+		return Status{}, err
+	}
+	return rreq.status, nil
+}
+
+// Wait blocks until the request completes, driving progress (MPI_Wait).
+func (r *Rank) Wait(q *Request) error {
+	defer r.prof.enter("Wait")()
+	r.waitProgress(func() bool { return q.done })
+	return q.err
+}
+
+// Test makes one progress pass and reports whether the request completed.
+func (r *Rank) Test(q *Request) (bool, error) {
+	r.progress()
+	return q.done, q.err
+}
+
+// Waitall blocks until every request completes, returning the first error.
+func (r *Rank) Waitall(reqs ...*Request) error {
+	defer r.prof.enter("Waitall")()
+	r.waitProgress(func() bool {
+		for _, q := range reqs {
+			if !q.done {
+				return false
+			}
+		}
+		return true
+	})
+	for _, q := range reqs {
+		if q.err != nil {
+			return q.err
+		}
+	}
+	return nil
+}
+
+// Iprobe makes one progress pass and reports whether a matching message is
+// waiting, without receiving it.
+func (c *Comm) Iprobe(src, tag int) (Status, bool) {
+	r := c.r
+	r.progress()
+	probe := &Request{src: src, tag: tag, ctx: c.ctx}
+	for _, u := range r.umq {
+		if matches(probe, u.h) {
+			return Status{Source: int(u.h.srcRank), Tag: int(u.h.tag), Count: int(u.h.size)}, true
+		}
+	}
+	return Status{}, false
+}
+
+// Probe blocks until a matching message is waiting (MPI_Probe).
+func (c *Comm) Probe(src, tag int) Status {
+	defer c.r.prof.enter("Probe")()
+	var st Status
+	c.r.waitProgress(func() bool {
+		s, ok := c.Iprobe(src, tag)
+		if ok {
+			st = s
+		}
+		return ok
+	})
+	return st
+}

@@ -1,0 +1,449 @@
+package mpi
+
+import (
+	"fmt"
+
+	"viampi/internal/core"
+	"viampi/internal/simnet"
+	"viampi/internal/via"
+)
+
+// chanState is the MPI layer's per-peer state riding on a core.Channel:
+// credit-based flow control and the queue of packets waiting for credits.
+type chanState struct {
+	peer      int // world rank of the peer
+	ch        *core.Channel
+	credits   int // send credits toward the peer
+	freed     int // receive buffers freed since the last credit return
+	posted    int // receive buffers in our local pool (grows when dynamic)
+	flowQ     []*pkt
+	userSends int64 // application messages addressed to this peer
+}
+
+// pkt is an outbound packet, possibly parked awaiting credits.
+type pkt struct {
+	hdr     hdr
+	payload []byte
+	onEmit  func() // runs when the packet is actually posted to the VI
+}
+
+// Rank is one MPI process: the user-facing handle passed to the program's
+// main function and the home of the progress engine.
+type Rank struct {
+	proc *simnet.Proc
+	port *via.Port
+	cq   *via.CQ
+	mgr  core.Manager
+	cfg  *Config
+
+	rank int // world rank
+	size int
+
+	world *Comm
+
+	chans    []*chanState // by world rank; nil until created
+	active   []*chanState // creation order, for progress scans
+	viToChan map[*via.VI]*chanState
+
+	prq []*Request // posted receive queue, post order
+	umq []*umsg    // unexpected message queue, arrival order
+
+	nextReq  int64
+	sendReqs map[int64]*Request // awaiting CTS
+	recvReqs map[int64]*Request // awaiting FIN
+	detached []*Request         // buffered-mode sends owned by the library
+
+	ctxCounter int32
+
+	initTime simnet.Duration
+	appStart simnet.Time
+	prof     *profiler
+
+	finalized bool
+}
+
+// umsg is an entry in the unexpected message queue.
+type umsg struct {
+	h       hdr
+	payload []byte // eager only (copied out of the pool buffer)
+	cs      *chanState
+}
+
+// Rank returns this process's rank in the world communicator.
+func (r *Rank) Rank() int { return r.rank }
+
+// Size returns the number of processes.
+func (r *Rank) Size() int { return r.size }
+
+// World returns the world communicator.
+func (r *Rank) World() *Comm { return r.world }
+
+// Wtime returns elapsed virtual time in seconds (MPI_Wtime).
+func (r *Rank) Wtime() float64 { return r.proc.Now().Seconds() }
+
+// Compute charges d seconds of application computation to virtual time.
+// NPB proxies use this to model their arithmetic phases.
+func (r *Rank) Compute(seconds float64) {
+	r.proc.Compute(simnet.Duration(seconds * 1e9))
+}
+
+// Proc exposes the underlying simulated process (for harness integration).
+func (r *Rank) Proc() *simnet.Proc { return r.proc }
+
+// Port exposes the underlying VIA port (for harness statistics).
+func (r *Rank) Port() *via.Port { return r.port }
+
+// Manager exposes the connection manager (for harness statistics).
+func (r *Rank) Manager() core.Manager { return r.mgr }
+
+// InitTime returns the virtual duration of this rank's MPI_Init (bootstrap
+// plus eager connection setup), the quantity in Figure 8.
+func (r *Rank) InitTime() simnet.Duration { return r.initTime }
+
+// Abort terminates the whole job immediately (MPI_Abort): Run returns an
+// error carrying the code and message, and no further communication
+// happens.
+func (r *Rank) Abort(code int, msg string) {
+	r.proc.Sim().Failf("mpi: rank %d called Abort(%d): %s", r.rank, code, msg)
+	// Stop executing user code in this rank; the simulator unwinds the
+	// whole job via the recorded failure.
+	panic(abortPanic{code})
+}
+
+// abortPanic marks an intentional job abort so Run's recovery (in simnet)
+// reports the Failf message rather than a spurious process panic.
+type abortPanic struct{ code int }
+
+// ---------------------------------------------------------------------------
+// Channel lifecycle (hooks given to the connection manager)
+
+// prepareChannel pre-posts the eager receive pool on a fresh VI, before the
+// connection can complete — so data can never arrive without a descriptor.
+func (r *Rank) prepareChannel(ch *core.Channel) {
+	peer := ch.Rank
+	initial := r.cfg.CreditCount
+	if r.cfg.DynamicCredits {
+		initial = r.cfg.InitialCredits
+	}
+	cs := &chanState{peer: peer, ch: ch, credits: initial}
+	ch.UserData = cs
+	r.chans[peer] = cs
+	r.active = append(r.active, cs)
+	r.viToChan[ch.Vi] = cs
+	r.growPool(cs, initial)
+}
+
+// growPool registers and pre-posts n more eager receive buffers on cs.
+func (r *Rank) growPool(cs *chanState, n int) {
+	bufSize := r.cfg.eagerBufSize()
+	if _, err := r.port.Memory().Register(int64(bufSize * n)); err != nil {
+		r.proc.Sim().Failf("mpi: rank %d cannot pin eager pool for peer %d: %v", r.rank, cs.peer, err)
+		return
+	}
+	for i := 0; i < n; i++ {
+		d := &via.Descriptor{Buf: make([]byte, bufSize)}
+		if err := cs.ch.Vi.PostRecv(d); err != nil {
+			r.proc.Sim().Failf("mpi: rank %d prepost to peer %d: %v", r.rank, cs.peer, err)
+			return
+		}
+	}
+	cs.posted += n
+}
+
+// onChannelUp drains the paper's pre-posted send FIFO in order (§3.4).
+func (r *Rank) onChannelUp(ch *core.Channel) {
+	cs := ch.UserData.(*chanState)
+	for _, item := range ch.DrainParked() {
+		r.post(cs, item.(*pkt))
+	}
+}
+
+// channel returns the chanState for a world-rank peer, creating the
+// connection on demand (policy permitting).
+func (r *Rank) channel(peer int) (*chanState, error) {
+	if peer == r.rank {
+		return nil, fmt.Errorf("mpi: rank %d addressing itself over the network", r.rank)
+	}
+	ch, err := r.mgr.Channel(peer)
+	if err != nil {
+		return nil, err
+	}
+	return ch.UserData.(*chanState), nil
+}
+
+// ---------------------------------------------------------------------------
+// Outbound path
+
+// post sends a packet on a channel, parking it in the FIFO if the connection
+// is not up yet, or in the flow queue if credits are exhausted.
+func (r *Rank) post(cs *chanState, p *pkt) {
+	if !cs.ch.Up {
+		if r.cfg.UnsafeNoSendFifo {
+			// Ablation path: post to the unconnected VI and let VIA discard
+			// it — the bug class the FIFO exists to prevent.
+			buf := encode(p.hdr, p.payload)
+			d := &via.Descriptor{Buf: buf, Len: len(buf)}
+			_ = cs.ch.Vi.PostSend(d)
+			if p.onEmit != nil {
+				p.onEmit()
+			}
+			return
+		}
+		cs.ch.Park(p)
+		return
+	}
+	if len(cs.flowQ) > 0 || cs.credits < r.creditNeed(p) {
+		cs.flowQ = append(cs.flowQ, p)
+		return
+	}
+	r.emit(cs, p)
+}
+
+// creditNeed returns how many credits must remain for this packet to go out.
+// Data and control need 2 (the last credit is reserved so a credit-return
+// can always be sent, making flow control deadlock-free); credit returns
+// need only 1.
+func (r *Rank) creditNeed(p *pkt) int {
+	if p.hdr.kind == pktCredit {
+		return 1
+	}
+	return 2
+}
+
+// emit actually posts the packet to the VI.
+func (r *Rank) emit(cs *chanState, p *pkt) {
+	p.hdr.credits = int32(cs.freed)
+	cs.freed = 0
+	buf := encode(p.hdr, p.payload)
+	r.port.ChargeHost(simnet.Duration(len(p.payload)) * r.cfg.cost.HostCopyPerByte)
+	d := &via.Descriptor{Buf: buf, Len: len(buf)}
+	if err := cs.ch.Vi.PostSend(d); err != nil {
+		r.proc.Sim().Failf("mpi: rank %d post to %d: %v", r.rank, cs.peer, err)
+		return
+	}
+	if d.Status == via.StatusNotConnected {
+		// Should be impossible: we only emit on Up channels. Seeing it means
+		// the pre-posted send FIFO was bypassed — the exact bug the paper's
+		// design rules out.
+		r.proc.Sim().Failf("mpi: rank %d emitted on unconnected VI to %d (FIFO bypass)", r.rank, cs.peer)
+		return
+	}
+	cs.credits--
+	if p.onEmit != nil {
+		p.onEmit()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Progress engine (MPID_DeviceCheck)
+
+// progress makes one non-blocking pass over all communication state: it is
+// MVICH's MPID_DeviceCheck. Connection requests are progressed here too —
+// the paper's "a peer-to-peer connection request can be considered as
+// another type of nonblocking communication request" (§3.3).
+func (r *Rank) progress() {
+	r.mgr.Poll()
+
+	// Reap send completions so VIA queues don't grow without bound. All
+	// channel scans run in rank order (MVICH's device check walks its
+	// per-destination table by rank), so progress behaviour is identical
+	// whether channels were created eagerly or on demand.
+	for _, cs := range r.chans {
+		if cs == nil {
+			continue
+		}
+		for cs.ch.Vi.SendDone() != nil {
+		}
+	}
+
+	// Drain arrivals.
+	for {
+		vi, d := r.cq.Done()
+		if d == nil {
+			break
+		}
+		cs, ok := r.viToChan[vi]
+		if !ok {
+			r.proc.Sim().Failf("mpi: rank %d arrival on unknown VI", r.rank)
+			return
+		}
+		if d.Status != via.StatusSuccess {
+			continue // descriptor failed with the connection; ignore
+		}
+		r.handlePacket(cs, d.Buf[:d.XferLen])
+		// Recycle the pool buffer immediately.
+		if err := vi.PostRecv(d); err == nil {
+			cs.freed++
+		}
+	}
+
+	// Flow-queue drain and credit returns.
+	for _, cs := range r.chans {
+		if cs == nil || !cs.ch.Up {
+			continue
+		}
+		for len(cs.flowQ) > 0 && cs.credits >= r.creditNeed(cs.flowQ[0]) {
+			p := cs.flowQ[0]
+			cs.flowQ = cs.flowQ[1:]
+			r.emit(cs, p)
+		}
+		if cs.freed >= cs.posted/2 && cs.credits >= 1 {
+			// Dynamic flow control (paper §6 future work): traffic on this
+			// channel keeps consuming the pool — double it, granting the
+			// new buffers to the sender with this credit return.
+			if r.cfg.DynamicCredits && cs.posted < r.cfg.CreditCount {
+				grow := cs.posted
+				if cs.posted+grow > r.cfg.CreditCount {
+					grow = r.cfg.CreditCount - cs.posted
+				}
+				r.growPool(cs, grow)
+				cs.freed += grow
+			}
+			// Emit directly, bypassing the flow queue: when our own data is
+			// blocked waiting for the peer's credits, the explicit return
+			// must still go out or both sides starve (the last credit is
+			// reserved for exactly this packet).
+			r.emit(cs, &pkt{hdr: hdr{kind: pktCredit, srcRank: int32(r.rank)}})
+		}
+	}
+}
+
+// waitProgress blocks until cond holds, interleaving progress with the
+// configured completion wait mode (polling vs. spinwait).
+func (r *Rank) waitProgress(cond func() bool) {
+	for {
+		r.progress()
+		if cond() {
+			return
+		}
+		r.port.WaitActivity(r.cfg.WaitMode)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Inbound path
+
+func (r *Rank) handlePacket(cs *chanState, wire []byte) {
+	h, payload, err := decode(wire)
+	if err != nil {
+		r.proc.Sim().Failf("mpi: rank %d: %v", r.rank, err)
+		return
+	}
+	cs.credits += int(h.credits)
+	switch h.kind {
+	case pktEager:
+		if req := r.matchPRQ(h); req != nil {
+			r.deliverEager(req, h, payload)
+		} else {
+			cp := append([]byte(nil), payload...)
+			r.umq = append(r.umq, &umsg{h: h, payload: cp, cs: cs})
+		}
+	case pktRts:
+		if req := r.matchPRQ(h); req != nil {
+			r.acceptRendezvous(req, h, cs)
+		} else {
+			r.umq = append(r.umq, &umsg{h: h, cs: cs})
+		}
+	case pktCts:
+		req, ok := r.sendReqs[h.sreq]
+		if !ok {
+			r.proc.Sim().Failf("mpi: rank %d CTS for unknown sreq %d", r.rank, h.sreq)
+			return
+		}
+		delete(r.sendReqs, h.sreq)
+		r.rendezvousData(cs, req, h)
+	case pktFin:
+		req, ok := r.recvReqs[h.rreq]
+		if !ok {
+			r.proc.Sim().Failf("mpi: rank %d FIN for unknown rreq %d", r.rank, h.rreq)
+			return
+		}
+		delete(r.recvReqs, h.rreq)
+		if err := r.port.ReleaseRdmaTarget(req.rkey, via.MemHandle(req.rmem)); err != nil {
+			r.proc.Sim().Failf("mpi: rank %d release rdma: %v", r.rank, err)
+		}
+		r.port.ChargeHost(simnet.Duration(req.rdvSize) * r.cfg.cost.HostCopyPerByte / 8)
+		req.status.Count = req.rdvSize
+		req.complete()
+	case pktCredit:
+		// Credits were already added above; nothing else to do.
+	default:
+		r.proc.Sim().Failf("mpi: rank %d unknown packet kind %s", r.rank, pktKindString(h.kind))
+	}
+}
+
+// matchPRQ finds and removes the first posted receive matching the header.
+func (r *Rank) matchPRQ(h hdr) *Request {
+	for i, req := range r.prq {
+		if matches(req, h) {
+			r.prq = append(r.prq[:i], r.prq[i+1:]...)
+			return req
+		}
+	}
+	return nil
+}
+
+// matches implements MPICH (context, source, tag) matching.
+func matches(req *Request, h hdr) bool {
+	if req.ctx != h.ctx {
+		return false
+	}
+	if req.src != AnySource && int32(req.src) != h.srcRank {
+		return false
+	}
+	if req.tag != AnyTag && int32(req.tag) != h.tag {
+		return false
+	}
+	return true
+}
+
+// deliverEager copies an eager payload into the matched receive.
+func (r *Rank) deliverEager(req *Request, h hdr, payload []byte) {
+	n := int(h.size)
+	if n > len(req.buf) {
+		req.failf("mpi: truncation: %d-byte message into %d-byte buffer (src %d tag %d)",
+			n, len(req.buf), h.srcRank, h.tag)
+		return
+	}
+	copy(req.buf, payload[:n])
+	r.port.ChargeHost(simnet.Duration(n) * r.cfg.cost.HostCopyPerByte)
+	req.status = Status{Source: int(h.srcRank), Tag: int(h.tag), Count: n}
+	req.complete()
+}
+
+// acceptRendezvous registers the receive buffer for RDMA and sends CTS.
+func (r *Rank) acceptRendezvous(req *Request, h hdr, cs *chanState) {
+	n := int(h.size)
+	if n > len(req.buf) {
+		req.failf("mpi: truncation: %d-byte rendezvous into %d-byte buffer", n, len(req.buf))
+		return
+	}
+	key, mem, err := r.port.RegisterRdmaTarget(req.buf[:n])
+	if err != nil {
+		req.failf("mpi: cannot register rendezvous buffer: %v", err)
+		return
+	}
+	req.rkey, req.rmem, req.rdvSize = key, int64(mem), n
+	req.status = Status{Source: int(h.srcRank), Tag: int(h.tag), Count: n}
+	r.nextReq++
+	id := r.nextReq
+	r.recvReqs[id] = req
+	r.post(cs, &pkt{hdr: hdr{
+		kind: pktCts, srcRank: int32(r.rank), ctx: h.ctx,
+		sreq: h.sreq, rreq: id, rkey: key, size: h.size,
+	}})
+}
+
+// rendezvousData RDMA-writes the payload and sends FIN; the send request
+// completes when FIN is posted.
+func (r *Rank) rendezvousData(cs *chanState, req *Request, h hdr) {
+	d := &via.Descriptor{Buf: req.data, Len: len(req.data), RdmaKey: h.rkey}
+	if err := cs.ch.Vi.PostRdmaWrite(d); err != nil {
+		req.failf("mpi: rdma write: %v", err)
+		return
+	}
+	r.post(cs, &pkt{
+		hdr:    hdr{kind: pktFin, srcRank: int32(r.rank), ctx: h.ctx, rreq: h.rreq},
+		onEmit: req.complete,
+	})
+}

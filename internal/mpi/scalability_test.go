@@ -1,0 +1,115 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"viampi/internal/simnet"
+	"viampi/internal/via"
+)
+
+// TestViHardLimitStaticFailsOnDemandRuns reproduces the paper's scalability
+// point 2: "the number of connections supported in a specific VIA system
+// serves as a hard limit to scaling". With a NIC that supports fewer VIs
+// than N-1, the static mechanism cannot even initialize, while on-demand
+// runs any application whose real partner set fits.
+func TestViHardLimitStaticFailsOnDemandRuns(t *testing.T) {
+	const n = 12
+	limit := func(c *via.CostModel) { c.MaxVIsPerPort = 6 } // < N-1 = 11
+
+	ring := func(r *Rank) {
+		c := r.World()
+		me := c.Rank()
+		out := []byte{byte(me)}
+		in := make([]byte, 4)
+		if _, err := c.Sendrecv((me+1)%n, 0, out, (me+n-1)%n, 0, in); err != nil {
+			t.Error(err)
+		}
+	}
+
+	static := Config{Procs: n, Policy: "static-p2p", TuneCost: limit,
+		Deadline: 30 * simnet.Second}
+	if _, err := Run(static, ring); err == nil {
+		t.Fatal("static init must fail when MaxVIs < N-1")
+	} else if !strings.Contains(err.Error(), "VI limit") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	ondemand := Config{Procs: n, Policy: "ondemand", TuneCost: limit,
+		Deadline: 30 * simnet.Second}
+	w, err := Run(ondemand, ring)
+	if err != nil {
+		t.Fatalf("on-demand must run a 2-neighbour app under the VI limit: %v", err)
+	}
+	for _, rs := range w.Ranks {
+		if rs.VisCreated > 6 {
+			t.Fatalf("rank %d created %d VIs, above the NIC limit", rs.Rank, rs.VisCreated)
+		}
+	}
+}
+
+// TestOnDemandExceedingLimitStillFails: on-demand is not magic — an
+// application that genuinely needs more partners than the NIC supports
+// fails when it crosses the limit, not before.
+func TestOnDemandExceedingLimitStillFails(t *testing.T) {
+	const n = 12
+	cfg := Config{Procs: n, Policy: "ondemand", Deadline: 30 * simnet.Second,
+		TuneCost: func(c *via.CostModel) { c.MaxVIsPerPort = 4 }}
+	_, err := Run(cfg, func(r *Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			// Rank 0 tries to reach 11 distinct peers over a 4-VI NIC.
+			for d := 1; d < n; d++ {
+				if err := c.Send(d, 0, []byte("x")); err != nil {
+					r.Proc().Sim().Failf("expected VI exhaustion: %v", err)
+					return
+				}
+			}
+		} else {
+			buf := make([]byte, 4)
+			if _, err := c.Recv(buf, 0, 0); err != nil {
+				return
+			}
+		}
+	})
+	if err == nil {
+		t.Fatal("expected failure once the partner set exceeds the NIC limit")
+	}
+}
+
+// TestPinnedMemoryLimitGatesStaticInit reproduces the memory side of the
+// paper's argument: the static mesh must pin CreditCount eager buffers for
+// every one of its N-1 VIs during MPI_Init, so a tight registered-memory
+// limit stops static startup while on-demand stays under it.
+func TestPinnedMemoryLimitGatesStaticInit(t *testing.T) {
+	const n = 16
+	cfg := Config{Procs: n, Deadline: 30 * simnet.Second}
+	fcfg, err := cfg.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fcfg
+	perVI := int64(cfg.eagerBufSize() * cfg.CreditCount)
+	budget := perVI * 4 // room for 4 channels, not 15
+
+	tune := func(c *via.CostModel) { c.MaxPinnedBytes = budget }
+	ring := func(r *Rank) {
+		c := r.World()
+		me := c.Rank()
+		out := []byte{1}
+		in := make([]byte, 4)
+		if _, err := c.Sendrecv((me+1)%n, 0, out, (me+n-1)%n, 0, in); err != nil {
+			t.Error(err)
+		}
+	}
+
+	static := Config{Procs: n, Policy: "static-p2p", TuneCost: tune, Deadline: 30 * simnet.Second}
+	if _, err := Run(static, ring); err == nil {
+		t.Fatal("static init must fail when the pinned-memory budget cannot hold N-1 pools")
+	}
+
+	od := Config{Procs: n, Policy: "ondemand", TuneCost: tune, Deadline: 30 * simnet.Second}
+	if _, err := Run(od, ring); err != nil {
+		t.Fatalf("on-demand ring must fit in the same pinned budget: %v", err)
+	}
+}

@@ -1,0 +1,175 @@
+package mpi
+
+import (
+	"testing"
+
+	"viampi/internal/simnet"
+)
+
+func TestGathervScatterv(t *testing.T) {
+	const n = 5
+	runWorld(t, testCfg(n), func(r *Rank) {
+		c := r.World()
+		me := c.Rank()
+		root := 2
+		// Rank i contributes i+1 bytes of value 100+i.
+		mine := make([]byte, me+1)
+		for j := range mine {
+			mine[j] = byte(100 + me)
+		}
+		counts := make([]int, n)
+		displs := make([]int, n)
+		total := 0
+		for i := 0; i < n; i++ {
+			counts[i] = i + 1
+			displs[i] = total
+			total += counts[i]
+		}
+		full := make([]byte, total)
+		if err := c.Gatherv(mine, full, counts, displs, root); err != nil {
+			t.Error(err)
+			return
+		}
+		if me == root {
+			for i := 0; i < n; i++ {
+				for j := 0; j < counts[i]; j++ {
+					if full[displs[i]+j] != byte(100+i) {
+						t.Errorf("gatherv block %d corrupted", i)
+						return
+					}
+				}
+			}
+			// Mutate and scatter back.
+			for i := 0; i < n; i++ {
+				for j := 0; j < counts[i]; j++ {
+					full[displs[i]+j] = byte(200 + i)
+				}
+			}
+		}
+		out := make([]byte, me+1)
+		if err := c.Scatterv(full, counts, displs, out, root); err != nil {
+			t.Error(err)
+			return
+		}
+		for j := range out {
+			if out[j] != byte(200+me) {
+				t.Errorf("rank %d scatterv got %d", me, out[j])
+				return
+			}
+		}
+	})
+}
+
+func TestAllgatherv(t *testing.T) {
+	const n = 4
+	runWorld(t, testCfg(n), func(r *Rank) {
+		c := r.World()
+		me := c.Rank()
+		counts := []int{2, 4, 6, 8}
+		displs := []int{0, 2, 6, 12}
+		mine := make([]byte, counts[me])
+		for j := range mine {
+			mine[j] = byte(me*10 + j)
+		}
+		out := make([]byte, 20)
+		if err := c.Allgatherv(mine, out, counts, displs); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < counts[i]; j++ {
+				if out[displs[i]+j] != byte(i*10+j) {
+					t.Errorf("rank %d: allgatherv block %d byte %d = %d", me, i, j, out[displs[i]+j])
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestWaitany(t *testing.T) {
+	runWorld(t, testCfg(2), func(r *Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			r.Proc().Sleep(simnet.D(2e6))
+			if err := c.Send(1, 5, []byte("b")); err != nil { // tag 5 arrives first
+				t.Error(err)
+			}
+			r.Proc().Sleep(simnet.D(2e6))
+			if err := c.Send(1, 4, []byte("a")); err != nil {
+				t.Error(err)
+			}
+		} else {
+			b1 := make([]byte, 4)
+			b2 := make([]byte, 4)
+			q1, err := c.Irecv(b1, 0, 4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			q2, err := c.Irecv(b2, 0, 5)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			idx, err := r.Waitany(q1, q2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if idx != 1 {
+				t.Errorf("Waitany returned %d, want 1 (tag 5 first)", idx)
+			}
+			if err := r.Waitall(q1, q2); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	// Empty argument list.
+	runWorld(t, testCfg(1), func(r *Rank) {
+		if idx, err := r.Waitany(); idx != -1 || err != nil {
+			t.Errorf("empty Waitany = %d, %v", idx, err)
+		}
+	})
+}
+
+func TestWaitsomeAndTestall(t *testing.T) {
+	runWorld(t, testCfg(2), func(r *Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			r.Proc().Sleep(simnet.D(1e6))
+			for tag := 0; tag < 3; tag++ {
+				if err := c.Send(1, tag, []byte{byte(tag)}); err != nil {
+					t.Error(err)
+				}
+			}
+		} else {
+			bufs := make([][]byte, 3)
+			reqs := make([]*Request, 3)
+			for tag := 0; tag < 3; tag++ {
+				bufs[tag] = make([]byte, 4)
+				q, err := c.Irecv(bufs[tag], 0, tag)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				reqs[tag] = q
+			}
+			if done, _ := r.Testall(reqs...); done {
+				t.Error("Testall true before sends")
+			}
+			got, err := r.Waitsome(reqs...)
+			if err != nil || len(got) == 0 {
+				t.Errorf("Waitsome = %v, %v", got, err)
+				return
+			}
+			if err := r.Waitall(reqs...); err != nil {
+				t.Error(err)
+				return
+			}
+			if done, err := r.Testall(reqs...); !done || err != nil {
+				t.Errorf("Testall after Waitall = %v, %v", done, err)
+			}
+		}
+	})
+}

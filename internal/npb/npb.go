@@ -1,0 +1,207 @@
+// Package npb provides communication-faithful proxies of the NAS Parallel
+// Benchmarks the paper evaluates (CG, MG, IS, EP, SP, BT) plus FT and LU.
+//
+// Each proxy reproduces its benchmark's communication structure exactly —
+// the partners, message sizes, ordering and collective calls for a given
+// class and process count — while the arithmetic phases are charged to
+// virtual time from a per-class calibration of total serial compute seconds
+// (anchored to the paper's Table 3 absolute CPU times; see calibration
+// notes in EXPERIMENTS.md). Message payloads are stamped and verified at
+// every receive, so a run also checks MPI correctness under whichever
+// connection policy and device it executes on.
+package npb
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"viampi/internal/mpi"
+)
+
+// Class is an NPB problem class.
+type Class byte
+
+// The standard NPB problem classes.
+const (
+	ClassS Class = 'S'
+	ClassW Class = 'W'
+	ClassA Class = 'A'
+	ClassB Class = 'B'
+	ClassC Class = 'C'
+)
+
+// Classes lists all supported classes, smallest first.
+func Classes() []Class { return []Class{ClassS, ClassW, ClassA, ClassB, ClassC} }
+
+// ParseClass converts a string like "A" into a Class.
+func ParseClass(s string) (Class, error) {
+	if len(s) == 1 {
+		for _, c := range Classes() {
+			if byte(s[0]) == byte(c) || byte(s[0]) == byte(c)+32 {
+				return c, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("npb: unknown class %q", s)
+}
+
+// Result is what a proxy reports after a run.
+type Result struct {
+	Name     string
+	Class    Class
+	Procs    int
+	TimeSec  float64 // max over ranks of the timed-region virtual seconds
+	Verified bool    // every stamped payload arrived intact and in order
+	Failures int     // count of verification failures
+}
+
+// Kernel is one NPB proxy.
+type Kernel struct {
+	Name string
+	// ValidProcs reports whether the benchmark supports this process count.
+	ValidProcs func(procs int) bool
+	// Main returns the per-rank entry point; all ranks share res (the
+	// simulator is single-threaded, so plain writes are safe).
+	Main func(class Class, res *Result) func(r *mpi.Rank)
+}
+
+// Kernels returns every proxy, in the paper's reporting order first (MG,
+// IS, CG, SP, BT, EP) followed by the extensions (FT, LU).
+func Kernels() []Kernel {
+	return []Kernel{MG(), IS(), CG(), SP(), BT(), EP(), FT(), LU()}
+}
+
+// ByName looks a kernel up by its (case-sensitive) name.
+func ByName(name string) (Kernel, error) {
+	for _, k := range Kernels() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("npb: unknown benchmark %q", name)
+}
+
+// Run executes a kernel on a fresh simulated cluster and returns its result.
+func Run(k Kernel, class Class, cfg mpi.Config) (*Result, *mpi.World, error) {
+	if !k.ValidProcs(cfg.Procs) {
+		return nil, nil, fmt.Errorf("npb: %s does not support %d processes", k.Name, cfg.Procs)
+	}
+	res := &Result{Name: k.Name, Class: class, Procs: cfg.Procs, Verified: true}
+	w, err := mpi.Run(cfg, k.Main(class, res))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, w, nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func isSquare(n int) bool {
+	for q := 1; q*q <= n; q++ {
+		if q*q == n {
+			return true
+		}
+	}
+	return false
+}
+
+func intSqrt(n int) int {
+	q := 0
+	for (q+1)*(q+1) <= n {
+		q++
+	}
+	return q
+}
+
+func log2(n int) int {
+	l := 0
+	for 1<<uint(l+1) <= n {
+		l++
+	}
+	return l
+}
+
+// stamp writes a deterministic tag into the head of a payload so the
+// receiver can verify source, phase and iteration.
+func stamp(buf []byte, a, b, c int) {
+	if len(buf) < 24 {
+		return
+	}
+	binary.LittleEndian.PutUint64(buf[0:], uint64(a))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(b))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(c))
+}
+
+// check verifies a stamped payload, recording failures on res.
+func check(res *Result, buf []byte, a, b, c int) {
+	if len(buf) < 24 {
+		return
+	}
+	ok := binary.LittleEndian.Uint64(buf[0:]) == uint64(a) &&
+		binary.LittleEndian.Uint64(buf[8:]) == uint64(b) &&
+		binary.LittleEndian.Uint64(buf[16:]) == uint64(c)
+	if !ok {
+		res.Verified = false
+		res.Failures++
+	}
+}
+
+// timedRegion runs body between barriers and reports the max elapsed
+// virtual seconds across ranks into res (written by comm rank 0).
+func timedRegion(r *mpi.Rank, c *mpi.Comm, res *Result, body func() error) error {
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+	t0 := r.Wtime()
+	if err := body(); err != nil {
+		return err
+	}
+	elapsed := r.Wtime() - t0
+	// NPB collects the timing with a Reduce(MAX) to rank 0.
+	out := make([]byte, 8)
+	if err := c.Reduce(mpi.F64Bytes([]float64{elapsed}), out, mpi.MaxF64, 0); err != nil {
+		return err
+	}
+	if c.Rank() == 0 {
+		res.TimeSec = mpi.BytesF64(out)[0]
+	}
+	return nil
+}
+
+// fail records a fatal benchmark error.
+func fail(res *Result, err error) {
+	if err == nil {
+		return
+	}
+	res.Verified = false
+	res.Failures++
+}
+
+// computeSlice splits total serial seconds evenly per rank per step.
+func computeSlice(serialSec float64, steps, procs int) float64 {
+	if steps <= 0 || procs <= 0 {
+		return 0
+	}
+	return serialSec / float64(steps) / float64(procs)
+}
+
+// compute charges one step of modeled work with a deterministic ±1%
+// data-dependent imbalance (hash of rank and step). Real NPB kernels have
+// exactly this kind of per-rank variation (bucket counts, boundary work);
+// without it, a deterministic simulator can phase-lock back-to-back
+// collectives into schedules that depend on initialization history, which
+// would contaminate the static-vs-on-demand comparison.
+func compute(r *mpi.Rank, dt float64, step int) {
+	if dt <= 0 {
+		return
+	}
+	h := uint32(r.Rank()*2654435761) + uint32(step*40503)
+	h ^= h >> 13
+	h *= 2246822519
+	h ^= h >> 16
+	f := 1 + 0.01*(float64(h%2048)/1024-1)
+	r.Compute(dt * f)
+}

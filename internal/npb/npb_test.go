@@ -1,0 +1,248 @@
+package npb
+
+import (
+	"testing"
+
+	"viampi/internal/mpi"
+	"viampi/internal/simnet"
+)
+
+func npbCfg(procs int, policy string) mpi.Config {
+	return mpi.Config{
+		Procs:    procs,
+		Policy:   policy,
+		Deadline: 3600 * simnet.Second,
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	if c, err := ParseClass("a"); err != nil || c != ClassA {
+		t.Fatalf("ParseClass(a) = %v, %v", c, err)
+	}
+	if _, err := ParseClass("Z"); err == nil {
+		t.Fatal("expected error for class Z")
+	}
+	if _, err := ParseClass(""); err == nil {
+		t.Fatal("expected error for empty class")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"CG", "MG", "IS", "EP", "SP", "BT", "FT", "LU"} {
+		k, err := ByName(name)
+		if err != nil || k.Name != name {
+			t.Errorf("ByName(%s): %v", name, err)
+		}
+	}
+	if _, err := ByName("ZZ"); err == nil {
+		t.Error("expected error for unknown kernel")
+	}
+}
+
+func TestValidProcs(t *testing.T) {
+	cases := []struct {
+		name  string
+		procs int
+		ok    bool
+	}{
+		{"CG", 16, true}, {"CG", 12, false},
+		{"MG", 8, true}, {"MG", 6, false},
+		{"IS", 32, true}, {"IS", 10, false},
+		{"EP", 7, true},
+		{"SP", 16, true}, {"SP", 8, false}, {"SP", 36, true},
+		{"BT", 9, true}, {"BT", 10, false},
+		{"FT", 4, true}, {"FT", 3, false},
+		{"LU", 8, true}, {"LU", 5, false},
+	}
+	for _, c := range cases {
+		k, err := ByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := k.ValidProcs(c.procs); got != c.ok {
+			t.Errorf("%s.ValidProcs(%d) = %v, want %v", c.name, c.procs, got, c.ok)
+		}
+	}
+}
+
+// TestAllKernelsClassSVerify runs every kernel at class S under on-demand
+// and checks completion and payload verification.
+func TestAllKernelsClassSVerify(t *testing.T) {
+	procsFor := map[string]int{
+		"CG": 8, "MG": 8, "IS": 8, "EP": 8, "SP": 9, "BT": 9, "FT": 8, "LU": 8,
+	}
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			res, w, err := Run(k, ClassS, npbCfg(procsFor[k.Name], "ondemand"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Verified || res.Failures != 0 {
+				t.Fatalf("%s: verification failed (%d failures)", k.Name, res.Failures)
+			}
+			if res.TimeSec <= 0 {
+				t.Fatalf("%s: no timed region (%v)", k.Name, res.TimeSec)
+			}
+			if w.Net.DroppedNoDescriptor > 0 {
+				t.Fatalf("%s: descriptor drops", k.Name)
+			}
+		})
+	}
+}
+
+// TestKernelsUnderStaticPolicies spot-checks kernels under the static
+// managers and both devices.
+func TestKernelsUnderStaticPolicies(t *testing.T) {
+	for _, policy := range []string{"static-p2p", "static-cs"} {
+		for _, name := range []string{"CG", "IS", "SP"} {
+			k, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			procs := 8
+			if name == "SP" {
+				procs = 9
+			}
+			cfg := npbCfg(procs, policy)
+			res, _, err := Run(k, ClassS, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, policy, err)
+			}
+			if !res.Verified {
+				t.Fatalf("%s/%s: verify failed", name, policy)
+			}
+		}
+	}
+}
+
+func TestKernelsOnBvia(t *testing.T) {
+	for _, name := range []string{"CG", "IS", "EP"} {
+		k, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := npbCfg(8, "ondemand")
+		cfg.Device = "bvia"
+		res, _, err := Run(k, ClassS, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Verified {
+			t.Fatalf("%s: verify failed on bvia", name)
+		}
+	}
+}
+
+// TestTable2VIShapes checks the on-demand VI counts against the paper's
+// Table 2 structure at 16 processes: IS fully connected, SP exactly its 8
+// multi-partition partners, EP only the allreduce tree, CG a handful.
+func TestTable2VIShapes(t *testing.T) {
+	run := func(name string, procs int) *mpi.World {
+		k, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, w, err := Run(k, ClassS, npbCfg(procs, "ondemand"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	// IS uses alltoall: every rank connects to all 15 others.
+	w := run("IS", 16)
+	if avg := w.AvgVIs(); avg != 15 {
+		t.Errorf("IS@16 avg VIs = %v, want 15 (Table 2)", avg)
+	}
+	if u := w.AvgUtilization(); u != 1.0 {
+		t.Errorf("IS@16 utilization = %v, want 1.0", u)
+	}
+	// SP: 8 multi-partition partners (paper: 8). Our timing barrier and
+	// norm reduction add up to two recursive-doubling partners that are not
+	// grid neighbours, so we accept [8, 10].
+	w = run("SP", 16)
+	if avg := w.AvgVIs(); avg < 8 || avg > 10 {
+		t.Errorf("SP@16 avg VIs = %v, want ~8 (Table 2)", avg)
+	}
+	// EP: exactly the recursive-doubling allreduce partners (paper: 4 at 16).
+	w = run("EP", 16)
+	if avg := w.AvgVIs(); avg != 4 {
+		t.Errorf("EP@16 avg VIs = %v, want 4 (Table 2)", avg)
+	}
+	// CG: ladder + transpose + tree (paper: 4.75 at 16).
+	w = run("CG", 16)
+	if avg := w.AvgVIs(); avg < 3 || avg > 7 {
+		t.Errorf("CG@16 avg VIs = %v, want ~4.75 (Table 2)", avg)
+	}
+}
+
+// TestStaticAlwaysFifteen: under static policies every rank creates N-1 VIs
+// regardless of the application (the waste Table 2 quantifies).
+func TestStaticAlwaysFifteen(t *testing.T) {
+	k, err := ByName("EP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, w, err := Run(k, ClassS, npbCfg(16, "static-p2p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := w.AvgVIs(); avg != 15 {
+		t.Errorf("EP@16 static avg VIs = %v, want 15", avg)
+	}
+	if u := w.AvgUtilization(); u >= 0.5 {
+		t.Errorf("EP@16 static utilization = %v, want low", u)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	k, err := ByName("CG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _, err := Run(k, ClassS, npbCfg(8, "ondemand"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := Run(k, ClassS, npbCfg(8, "ondemand"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TimeSec != r2.TimeSec {
+		t.Errorf("CG not deterministic: %v vs %v", r1.TimeSec, r2.TimeSec)
+	}
+}
+
+func TestRunRejectsBadProcs(t *testing.T) {
+	k, err := ByName("SP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Run(k, ClassS, npbCfg(8, "ondemand")); err == nil {
+		t.Fatal("SP with 8 procs should be rejected")
+	}
+}
+
+func TestComputeSlice(t *testing.T) {
+	if got := computeSlice(100, 10, 10); got != 1 {
+		t.Fatalf("computeSlice = %v", got)
+	}
+	if got := computeSlice(100, 0, 10); got != 0 {
+		t.Fatalf("computeSlice guard = %v", got)
+	}
+}
+
+func TestHelperMath(t *testing.T) {
+	if !isPow2(16) || isPow2(12) || isPow2(0) {
+		t.Fatal("isPow2")
+	}
+	if !isSquare(36) || isSquare(8) {
+		t.Fatal("isSquare")
+	}
+	if intSqrt(36) != 6 || intSqrt(35) != 5 {
+		t.Fatal("intSqrt")
+	}
+	if log2(16) != 4 || log2(17) != 4 || log2(1) != 0 {
+		t.Fatal("log2")
+	}
+}

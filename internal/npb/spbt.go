@@ -1,0 +1,200 @@
+package npb
+
+import (
+	"viampi/internal/mpi"
+)
+
+type adiParams struct {
+	grid      int // problem is grid^3
+	niter     int
+	serialSec float64
+}
+
+var spTable = map[Class]adiParams{
+	ClassS: {12, 100, 1.2},
+	ClassW: {36, 400, 120},
+	ClassA: {64, 400, 1600},
+	ClassB: {102, 400, 8400},
+	ClassC: {162, 400, 33600},
+}
+
+var btTable = map[Class]adiParams{
+	ClassS: {12, 60, 1.5},
+	ClassW: {24, 200, 150},
+	ClassA: {64, 200, 2900},
+	ClassB: {102, 200, 13100},
+	ClassC: {162, 200, 52400},
+}
+
+// SP is the scalar-pentadiagonal ADI proxy; BT the block-tridiagonal one.
+// Both use the NPB multi-partition scheme on a square process grid: per
+// iteration, copy_faces exchanges with all eight surrounding ranks
+// (compass + diagonals, periodic) and then three line-solve sweeps send
+// partial solutions forward and back along rows and columns. That yields
+// the 8 distinct partners per rank that Table 2 reports for SP/BT at 16
+// processes.
+func SP() Kernel { return adiKernel("SP", spTable, 5) }
+
+// BT is the block-tridiagonal ADI proxy (larger per-face blocks than SP).
+func BT() Kernel { return adiKernel("BT", btTable, 25) }
+
+func adiKernel(name string, table map[Class]adiParams, blockWords int) Kernel {
+	return Kernel{
+		Name:       name,
+		ValidProcs: isSquare,
+		Main: func(class Class, res *Result) func(r *mpi.Rank) {
+			p := table[class]
+			return func(r *mpi.Rank) {
+				c := r.World()
+				n := c.Size()
+				me := c.Rank()
+				q := intSqrt(n)
+				row, col := me/q, me%q
+
+				cell := p.grid / q // cells per rank per grid dimension
+				if cell < 1 {
+					cell = 1
+				}
+				faceBytes := 8 * blockWords * cell * cell
+				lineBytes := 8 * blockWords * cell
+				if faceBytes < 32 {
+					faceBytes = 32
+				}
+				if lineBytes < 32 {
+					lineBytes = 32
+				}
+
+				at := func(rr, cc int) int { return ((rr+q)%q)*q + (cc+q)%q }
+				// Eight surrounding partners (periodic), deduplicated for
+				// tiny grids.
+				type nb struct{ rank, slot int }
+				var nbs []nb
+				seen := map[int]bool{}
+				slot := 0
+				for dr := -1; dr <= 1; dr++ {
+					for dc := -1; dc <= 1; dc++ {
+						if dr == 0 && dc == 0 {
+							continue
+						}
+						pr := at(row+dr, col+dc)
+						if pr != me && !seen[pr] {
+							seen[pr] = true
+							nbs = append(nbs, nb{pr, slot})
+						}
+						slot++
+					}
+				}
+
+				faceOut := make([][]byte, len(nbs))
+				faceIn := make([][]byte, len(nbs))
+				for i := range nbs {
+					faceOut[i] = make([]byte, faceBytes)
+					faceIn[i] = make([]byte, faceBytes)
+				}
+				lineOut := make([]byte, lineBytes)
+				lineIn := make([]byte, lineBytes)
+
+				// copy_faces uses persistent requests, as NPB SP/BT do:
+				// the templates are built once and restarted per iteration.
+				persistent := make([]*mpi.PersistentRequest, 0, 2*len(nbs))
+				for i, b := range nbs {
+					pr, err := c.RecvInit(faceIn[i], b.rank, 30)
+					if err != nil {
+						fail(res, err)
+						return
+					}
+					persistent = append(persistent, pr)
+				}
+				for i, b := range nbs {
+					ps, err := c.SendInit(b.rank, 30, faceOut[i])
+					if err != nil {
+						fail(res, err)
+						return
+					}
+					persistent = append(persistent, ps)
+				}
+
+				dt := computeSlice(p.serialSec, p.niter*4, n) // faces + 3 sweeps
+
+				err := timedRegion(r, c, res, func() error {
+					for it := 0; it < p.niter; it++ {
+						// copy_faces: all-neighbor exchange via the
+						// persistent templates (MPI_Startall / Waitall).
+						compute(r, dt, it*4)
+						for i := range nbs {
+							stamp(faceOut[i], me, it, 30)
+						}
+						if err := mpi.Startall(persistent...); err != nil {
+							return err
+						}
+						if err := r.WaitallPersistent(persistent...); err != nil {
+							return err
+						}
+						for i, b := range nbs {
+							check(res, faceIn[i], b.rank, it, 30)
+						}
+
+						// Three ADI sweeps: x along rows, y along columns,
+						// z along rows again — forward then backward
+						// substitution pipelines (non-periodic, so no cycle).
+						for sweep := 0; sweep < 3; sweep++ {
+							compute(r, dt, it*4+1+sweep)
+							var fwdPrev, fwdNext int
+							if sweep == 1 { // column sweep
+								fwdPrev, fwdNext = at(row-1, col), at(row+1, col)
+								if row == 0 {
+									fwdPrev = -1
+								}
+								if row == q-1 {
+									fwdNext = -1
+								}
+							} else { // row sweeps
+								fwdPrev, fwdNext = at(row, col-1), at(row, col+1)
+								if col == 0 {
+									fwdPrev = -1
+								}
+								if col == q-1 {
+									fwdNext = -1
+								}
+							}
+							tag := 40 + sweep
+							// Forward substitution.
+							if fwdPrev >= 0 {
+								if _, err := c.Recv(lineIn, fwdPrev, tag); err != nil {
+									return err
+								}
+								check(res, lineIn, fwdPrev, it, tag)
+							}
+							if fwdNext >= 0 {
+								stamp(lineOut, me, it, tag)
+								if err := c.Send(fwdNext, tag, lineOut); err != nil {
+									return err
+								}
+							}
+							// Backward substitution.
+							if fwdNext >= 0 {
+								if _, err := c.Recv(lineIn, fwdNext, tag+10); err != nil {
+									return err
+								}
+								check(res, lineIn, fwdNext, it, tag+10)
+							}
+							if fwdPrev >= 0 {
+								stamp(lineOut, me, it, tag+10)
+								if err := c.Send(fwdPrev, tag+10, lineOut); err != nil {
+									return err
+								}
+							}
+						}
+					}
+					// Solution verification norms (NPB uses MPI_Reduce).
+					out := make([]byte, 8)
+					if err := c.Reduce(mpi.F64Bytes([]float64{1}), out, mpi.SumF64, 0); err != nil {
+						return err
+					}
+					return nil
+				})
+				fail(res, err)
+			}
+		},
+	}
+}

@@ -1,0 +1,29 @@
+package simnet_test
+
+import (
+	"fmt"
+
+	"viampi/internal/simnet"
+)
+
+// Two processes coordinate through virtual time: a worker computes while a
+// watcher wakes it after a deadline. The whole exchange is deterministic.
+func ExampleSim() {
+	sim := simnet.New(1)
+	worker := sim.Spawn("worker", 0, func(p *simnet.Proc) {
+		p.Compute(40 * simnet.Microsecond)
+		fmt.Printf("worker computed until t=%v\n", p.Now())
+		p.Park() // wait for the watcher
+		fmt.Printf("worker woken at t=%v\n", p.Now())
+	})
+	sim.Spawn("watcher", 0, func(p *simnet.Proc) {
+		p.Sleep(100 * simnet.Microsecond)
+		worker.Wake()
+	})
+	if err := sim.Run(); err != nil {
+		fmt.Println("error:", err)
+	}
+	// Output:
+	// worker computed until t=40µs
+	// worker woken at t=100µs
+}

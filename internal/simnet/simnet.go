@@ -1,0 +1,405 @@
+// Package simnet provides a deterministic discrete-event simulator with
+// cooperative, goroutine-backed processes.
+//
+// The simulator owns a virtual clock. Exactly one goroutine — either the
+// scheduler or a single simulated process — runs at any instant, so simulated
+// code needs no locking and every run with the same seed is bit-identical.
+// Processes advance the clock only through blocking primitives (Sleep,
+// Compute, Park*); everything else executes in zero virtual time.
+//
+// This package is the substrate for the VIA device models: NIC and wire
+// behaviour is expressed as events, while MPI ranks are processes.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sort"
+	"time"
+)
+
+// Time is an absolute virtual timestamp in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It converts freely from
+// time.Duration for readability at call sites.
+type Duration int64
+
+// Handy duration units in virtual time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// D converts a time.Duration into a virtual Duration.
+func D(d time.Duration) Duration { return Duration(d.Nanoseconds()) }
+
+// Std converts a virtual Duration back into a time.Duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// Seconds reports the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Micros reports the duration as floating-point microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// Seconds reports the timestamp as floating-point seconds since start.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Micros reports the timestamp as floating-point microseconds since start.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// Add offsets a timestamp by a duration.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is a scheduled callback. Events with equal timestamps fire in
+// scheduling order (seq), which is what makes runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Sim is a single-threaded discrete-event simulation.
+// Create one with New, add processes with Spawn, then call Run.
+type Sim struct {
+	now      Time
+	seq      uint64
+	events   eventHeap
+	procs    []*Proc
+	yield    chan struct{} // processes hand control back to the scheduler here
+	running  bool
+	live     int // processes spawned and not yet finished
+	failure  error
+	deadline Time // 0 means none
+	rng      *rand.Rand
+	seed     int64
+
+	// EventCount is the total number of events dispatched so far.
+	EventCount uint64
+}
+
+// New creates an empty simulation whose random source is seeded with seed.
+func New(seed int64) *Sim {
+	return &Sim{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+		seed:  seed,
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source. It must only be
+// used from simulation context (process bodies or event callbacks).
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// SetDeadline aborts Run with an error if virtual time passes t.
+// A zero t removes the deadline.
+func (s *Sim) SetDeadline(t Time) { s.deadline = t }
+
+// At schedules fn to run at virtual time t. Scheduling in the past is an
+// error in the caller; it is clamped to now to keep time monotonic.
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (s *Sim) After(d Duration, fn func()) { s.At(s.now.Add(d), fn) }
+
+// Failf records a fatal simulation error; Run stops and returns it.
+func (s *Sim) Failf(format string, args ...interface{}) {
+	if s.failure == nil {
+		s.failure = fmt.Errorf(format, args...)
+	}
+}
+
+// Proc is a simulated process: a goroutine that runs only when the scheduler
+// hands it control, and returns control whenever it blocks in virtual time.
+type Proc struct {
+	sim    *Sim
+	id     int
+	name   string
+	resume chan wake
+
+	parked   bool
+	parkSeq  uint64 // increments every park; stale wake events are ignored
+	finished bool
+
+	busy  Duration // total time charged via Compute
+	slept Duration // total time in Sleep
+	idle  Duration // total time parked waiting for events
+
+	userData interface{}
+}
+
+type wake struct{ timedOut bool }
+
+// ID returns the process's index in spawn order.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulation the process belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// SetUserData attaches an arbitrary value to the process (e.g. its MPI rank
+// state); UserData retrieves it.
+func (p *Proc) SetUserData(v interface{}) { p.userData = v }
+
+// UserData returns the value set with SetUserData, or nil.
+func (p *Proc) UserData() interface{} { return p.userData }
+
+// BusyTime returns total virtual time this process spent in Compute.
+func (p *Proc) BusyTime() Duration { return p.busy }
+
+// IdleTime returns total virtual time this process spent parked.
+func (p *Proc) IdleTime() Duration { return p.idle }
+
+// Spawn creates a process that will begin executing fn at time start.
+// It may be called before Run or from inside the simulation.
+func (s *Sim) Spawn(name string, start Time, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		sim:    s,
+		id:     len(s.procs),
+		name:   name,
+		resume: make(chan wake),
+	}
+	s.procs = append(s.procs, p)
+	s.live++
+	go func() {
+		w := <-p.resume // wait for first dispatch
+		_ = w
+		defer func() {
+			if r := recover(); r != nil {
+				s.Failf("process %q panicked: %v\n%s", p.name, r, debug.Stack())
+			}
+			p.finished = true
+			s.live--
+			s.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	s.At(start, func() { s.dispatch(p, wake{}) })
+	return p
+}
+
+// dispatch transfers control to p and blocks until p parks or finishes.
+// It must be called from scheduler context (inside an event callback).
+func (s *Sim) dispatch(p *Proc, w wake) {
+	if p.finished {
+		return
+	}
+	p.parked = false
+	p.resume <- w
+	<-s.yield
+}
+
+// park blocks the calling process until a wake event dispatches it again.
+// It must be called from process context.
+func (p *Proc) park() wake {
+	p.parked = true
+	p.parkSeq++
+	start := p.sim.now
+	p.sim.yield <- struct{}{}
+	w := <-p.resume
+	p.idle += p.sim.now.Sub(start)
+	return w
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := p.sim
+	seq := p.parkSeq + 1
+	s.After(d, func() {
+		if p.parked && p.parkSeq == seq {
+			s.dispatch(p, wake{})
+		}
+	})
+	start := s.now
+	p.park()
+	p.slept += s.now.Sub(start)
+	p.idle -= s.now.Sub(start) // sleeping is not idling
+}
+
+// Compute charges d of virtual time as computation (CPU busy).
+func (p *Proc) Compute(d Duration) {
+	if d <= 0 {
+		return
+	}
+	start := p.sim.now
+	seq := p.parkSeq + 1
+	p.sim.After(d, func() {
+		if p.parked && p.parkSeq == seq {
+			p.sim.dispatch(p, wake{})
+		}
+	})
+	p.park()
+	p.busy += p.sim.now.Sub(start)
+	p.idle -= p.sim.now.Sub(start)
+}
+
+// Park suspends the process until another party calls Wake on it.
+func (p *Proc) Park() { p.park() }
+
+// ParkTimeout suspends the process until Wake or until d elapses.
+// It reports true if the process was woken, false on timeout.
+func (p *Proc) ParkTimeout(d Duration) bool {
+	if d < 0 {
+		d = 0
+	}
+	s := p.sim
+	seq := p.parkSeq + 1
+	s.After(d, func() {
+		if p.parked && p.parkSeq == seq {
+			s.dispatch(p, wake{timedOut: true})
+		}
+	})
+	w := p.park()
+	return !w.timedOut
+}
+
+// Wake schedules p to resume at the current virtual time (plus optional
+// delay). It is safe to call from any simulation context; a Wake aimed at a
+// process that is not parked, or that has re-parked since, is dropped.
+func (p *Proc) Wake() { p.WakeAfter(0) }
+
+// WakeAfter schedules a wake for p after d of virtual time.
+func (p *Proc) WakeAfter(d Duration) {
+	s := p.sim
+	seq := p.parkSeq
+	if !p.parked {
+		seq++ // wake the *next* park if it happens before the event fires
+	}
+	s.After(d, func() {
+		if p.parked && p.parkSeq == seq {
+			s.dispatch(p, wake{})
+		}
+	})
+}
+
+// Yield gives other events scheduled at the current instant a chance to run
+// before the process continues. Equivalent to Sleep(0).
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Run dispatches events until the queue is empty or a failure occurs.
+// It returns an error if any process panicked, the deadline passed, or if
+// processes remain blocked with no pending events (deadlock).
+func (s *Sim) Run() error {
+	if s.running {
+		return fmt.Errorf("simnet: Run called re-entrantly")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+
+	for len(s.events) > 0 && s.failure == nil {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.at > s.now {
+			s.now = ev.at
+		}
+		if s.deadline != 0 && s.now > s.deadline {
+			return fmt.Errorf("simnet: deadline %v exceeded at t=%v", s.deadline, s.now)
+		}
+		s.EventCount++
+		ev.fn()
+	}
+	if s.failure != nil {
+		return s.failure
+	}
+	if s.live > 0 {
+		var stuck []string
+		for _, p := range s.procs {
+			if !p.finished {
+				stuck = append(stuck, p.name)
+			}
+		}
+		sort.Strings(stuck)
+		return fmt.Errorf("simnet: deadlock at t=%v: %d process(es) blocked with no pending events: %v",
+			s.now, len(stuck), stuck)
+	}
+	return nil
+}
+
+// Procs returns all processes ever spawned, in spawn order.
+func (s *Sim) Procs() []*Proc { return s.procs }
+
+// Cond is a broadcast-style condition variable for simulated processes.
+// The zero value is not usable; create with NewCond.
+type Cond struct {
+	sim     *Sim
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable bound to s.
+func NewCond(s *Sim) *Cond { return &Cond{sim: s} }
+
+// Wait parks p until Broadcast or Signal.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Signal wakes one waiter (FIFO), if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	p.Wake()
+}
+
+// Broadcast wakes all current waiters.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		p.Wake()
+	}
+}
+
+// Len reports the number of parked waiters.
+func (c *Cond) Len() int { return len(c.waiters) }

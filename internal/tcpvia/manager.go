@@ -1,0 +1,329 @@
+package tcpvia
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Manager applies the paper's connection-management policies to a group of
+// tcpvia nodes identified by rank: "static" builds the full mesh up front;
+// "ondemand" creates a VI and dials lazily on first use, parking sends in a
+// per-channel FIFO until the connection is up (paper §3.4) and adopting
+// incoming requests as they arrive (§3.3, here with a goroutine instead of
+// the single-threaded poll, since this stack is genuinely concurrent).
+type Manager struct {
+	node   *Node
+	rank   int
+	peers  []string // rank -> listen address
+	policy string
+
+	mu       sync.Mutex
+	channels map[int]*Channel
+	recvPool int
+	bufSize  int
+	timeout  time.Duration
+	closed   bool
+	adoptWG  sync.WaitGroup
+}
+
+// Channel is the per-peer state: the VI plus the pre-posted send FIFO.
+type Channel struct {
+	Rank int
+	Vi   *VI
+
+	mu    sync.Mutex
+	up    bool
+	fifo  [][]byte
+	upped chan struct{}
+}
+
+// Up reports whether the channel's connection is established and drained.
+func (c *Channel) Up() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.up
+}
+
+// ManagerConfig configures NewManager.
+type ManagerConfig struct {
+	Node     *Node
+	Rank     int
+	Peers    []string // rank -> address (Peers[Rank] must equal Node.Addr())
+	Policy   string   // "static" or "ondemand"
+	RecvPool int      // receive buffers pre-posted per VI (default 32)
+	BufSize  int      // receive buffer size (default 64 KiB)
+	Timeout  time.Duration
+}
+
+// NewManager wires a node into a ranked group under the chosen policy.
+// Static managers return only after the full mesh is connected.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if cfg.RecvPool == 0 {
+		cfg.RecvPool = 32
+	}
+	if cfg.BufSize == 0 {
+		cfg.BufSize = 64 << 10
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.Rank < 0 || cfg.Rank >= len(cfg.Peers) {
+		return nil, fmt.Errorf("tcpvia: rank %d outside peer table", cfg.Rank)
+	}
+	m := &Manager{
+		node:     cfg.Node,
+		rank:     cfg.Rank,
+		peers:    cfg.Peers,
+		policy:   cfg.Policy,
+		channels: make(map[int]*Channel),
+		recvPool: cfg.RecvPool,
+	}
+	m.bufSize = cfg.BufSize
+	m.timeout = cfg.Timeout
+	switch cfg.Policy {
+	case "static":
+		if err := m.connectAll(); err != nil {
+			return nil, err
+		}
+	case "ondemand":
+		// Adopt incoming requests in the background.
+		m.adoptWG.Add(1)
+		go m.adoptLoop()
+	default:
+		return nil, fmt.Errorf("tcpvia: unknown policy %q", cfg.Policy)
+	}
+	return m, nil
+}
+
+// pairDisc is the canonical discriminator for a rank pair (never 0, since 0
+// is the "match any" wildcard in WaitRequest).
+func pairDisc(a, b int) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b) | 1<<63
+}
+
+// connectAll builds the full mesh: lower rank dials, higher rank accepts —
+// the static policy.
+func (m *Manager) connectAll() error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(m.peers))
+	for r := range m.peers {
+		if r == m.rank {
+			continue
+		}
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := m.establish(r)
+			errs[r] = err
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// adoptLoop services incoming connection requests under on-demand.
+func (m *Manager) adoptLoop() {
+	defer m.adoptWG.Done()
+	for {
+		req, err := m.node.WaitRequest(0, time.Hour)
+		if err != nil {
+			return // node closed
+		}
+		rank := m.rankOf(req.From)
+		if rank < 0 {
+			req.Reject()
+			continue
+		}
+		ch := m.channel(rank)
+		if ch.Vi == nil || ch.Vi.State() == Connected {
+			req.Reject()
+			continue
+		}
+		// Accept adopts onto an Idle VI, or resolves a crossing dial onto a
+		// Connecting one; anything else is answered so the peer's dialer
+		// never hangs.
+		if err := m.node.Accept(req, ch.Vi); err != nil {
+			req.Reject()
+			continue
+		}
+		m.markUp(ch)
+	}
+}
+
+func (m *Manager) rankOf(addr string) int {
+	for r, a := range m.peers {
+		if a == addr {
+			return r
+		}
+	}
+	return -1
+}
+
+// channel returns (creating if needed) the channel struct and its prepared
+// VI for a peer.
+func (m *Manager) channel(rank int) *Channel {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ch, ok := m.channels[rank]; ok {
+		return ch
+	}
+	vi, err := m.node.CreateVi()
+	if err != nil {
+		// Surface the error through a dead channel; sends will report it.
+		ch := &Channel{Rank: rank, upped: make(chan struct{})}
+		m.channels[rank] = ch
+		return ch
+	}
+	for i := 0; i < m.recvPool; i++ {
+		_ = vi.PostRecv(make([]byte, m.bufSize))
+	}
+	ch := &Channel{Rank: rank, Vi: vi, upped: make(chan struct{})}
+	m.channels[rank] = ch
+	return ch
+}
+
+// establish creates the channel and synchronously connects it (static path,
+// and the dialing side of on-demand).
+func (m *Manager) establish(rank int) (*Channel, error) {
+	ch := m.channel(rank)
+	if ch.Vi == nil {
+		return nil, ErrTooManyVIs
+	}
+	ch.mu.Lock()
+	if ch.up {
+		ch.mu.Unlock()
+		return ch, nil
+	}
+	ch.mu.Unlock()
+	err := m.node.ConnectPeer(ch.Vi, m.peers[rank], pairDisc(m.rank, rank), m.timeout)
+	if err != nil && ch.Vi.State() != Connected {
+		return nil, err
+	}
+	m.markUp(ch)
+	return ch, nil
+}
+
+// markUp flips the channel and drains its FIFO in order (paper §3.4). The
+// channel lock is held across the drain so sends racing the transition
+// queue behind the parked messages instead of overtaking them.
+func (m *Manager) markUp(ch *Channel) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if ch.up {
+		return
+	}
+	for _, data := range ch.fifo {
+		ch.Vi.PostSend(data)
+	}
+	ch.fifo = nil
+	ch.up = true
+	close(ch.upped)
+}
+
+// Send transmits data to a peer rank. Under on-demand, the first send
+// triggers connection establishment; sends racing the handshake are parked
+// in the FIFO and drained in order, so no message is ever discarded.
+func (m *Manager) Send(rank int, data []byte) error {
+	if rank == m.rank {
+		return fmt.Errorf("tcpvia: self-send not supported at this layer")
+	}
+	ch := m.channel(rank)
+	if ch.Vi == nil {
+		return ErrTooManyVIs
+	}
+	ch.mu.Lock()
+	if !ch.up {
+		// Park a copy (the caller may reuse its buffer immediately).
+		cp := append([]byte(nil), data...)
+		first := len(ch.fifo) == 0 && m.policy == "ondemand"
+		ch.fifo = append(ch.fifo, cp)
+		ch.mu.Unlock()
+		if first {
+			go func() {
+				if _, err := m.establish(rank); err != nil {
+					_ = err // the FIFO stays parked; Recv/timeouts surface it
+				}
+			}()
+		}
+		return nil
+	}
+	ch.mu.Unlock()
+	st, err := ch.Vi.PostSend(data)
+	if err != nil {
+		return err
+	}
+	if st == Discarded {
+		return fmt.Errorf("tcpvia: send discarded in state %v", ch.Vi.State())
+	}
+	return nil
+}
+
+// Recv blocks for the next message from a peer rank.
+func (m *Manager) Recv(rank int, timeout time.Duration) ([]byte, error) {
+	ch := m.channel(rank)
+	if ch.Vi == nil {
+		return nil, ErrTooManyVIs
+	}
+	if m.policy == "ondemand" && !ch.Up() {
+		// Receiver-side connect (paper §4): a receive for a specific source
+		// initiates the connection if the sender has not already.
+		select {
+		case <-ch.upped:
+		default:
+			go m.establish(rank)
+		}
+	}
+	buf, ln, err := ch.Vi.RecvWait(timeout)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, ln)
+	copy(out, buf[:ln])
+	// Recycle the pool buffer.
+	_ = ch.Vi.PostRecv(buf)
+	return out, nil
+}
+
+// Connections reports how many channels are established — the Table 2
+// quantity on the live network.
+func (m *Manager) Connections() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, ch := range m.channels {
+		if ch.Up() {
+			n++
+		}
+	}
+	return n
+}
+
+// Close tears down all channels.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	chans := make([]*Channel, 0, len(m.channels))
+	for _, ch := range m.channels {
+		chans = append(chans, ch)
+	}
+	m.mu.Unlock()
+	for _, ch := range chans {
+		if ch.Vi != nil {
+			ch.Vi.Close()
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package trace records communication activity during a simulated MPI run:
+// who talked to whom, how much, and when. The paper's whole argument rests
+// on communication locality (Table 1's distinct-destination counts, Table
+// 2's VI utilization); this package makes that locality visible for any
+// program, as a matrix, per-rank destination sets, and summary statistics.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Event is one recorded point-to-point message.
+type Event struct {
+	TimeNs int64
+	Src    int
+	Dst    int
+	Bytes  int
+	Tag    int
+}
+
+// Recorder accumulates events for a job of Size ranks. It is safe for use
+// from the single-threaded simulator (no locking).
+type Recorder struct {
+	size   int
+	msgs   [][]int64 // [src][dst] message counts
+	bytes  [][]int64
+	events []Event
+	keep   bool // retain individual events (memory-heavy)
+}
+
+// New creates a Recorder; keepEvents retains the full event log (for
+// timelines) rather than just the matrices.
+func New(size int, keepEvents bool) *Recorder {
+	r := &Recorder{size: size, keep: keepEvents}
+	r.msgs = make([][]int64, size)
+	r.bytes = make([][]int64, size)
+	for i := range r.msgs {
+		r.msgs[i] = make([]int64, size)
+		r.bytes[i] = make([]int64, size)
+	}
+	return r
+}
+
+// Record notes one message.
+func (r *Recorder) Record(timeNs int64, src, dst, bytes, tag int) {
+	if src < 0 || src >= r.size || dst < 0 || dst >= r.size {
+		return
+	}
+	r.msgs[src][dst]++
+	r.bytes[src][dst] += int64(bytes)
+	if r.keep {
+		r.events = append(r.events, Event{timeNs, src, dst, bytes, tag})
+	}
+}
+
+// Size returns the job size.
+func (r *Recorder) Size() int { return r.size }
+
+// Events returns the retained event log (nil unless keepEvents).
+func (r *Recorder) Events() []Event { return r.events }
+
+// Messages returns the message count from src to dst.
+func (r *Recorder) Messages(src, dst int) int64 { return r.msgs[src][dst] }
+
+// Bytes returns the byte count from src to dst.
+func (r *Recorder) Bytes(src, dst int) int64 { return r.bytes[src][dst] }
+
+// Dests returns the sorted distinct destinations of a rank — the Table 1
+// metric for one process.
+func (r *Recorder) Dests(rank int) []int {
+	var ds []int
+	for d, n := range r.msgs[rank] {
+		if n > 0 && d != rank {
+			ds = append(ds, d)
+		}
+	}
+	sort.Ints(ds)
+	return ds
+}
+
+// AvgDests returns the average distinct-destination count across ranks.
+func (r *Recorder) AvgDests() float64 {
+	total := 0
+	for i := 0; i < r.size; i++ {
+		total += len(r.Dests(i))
+	}
+	return float64(total) / float64(r.size)
+}
+
+// MaxDests returns the largest per-rank destination count.
+func (r *Recorder) MaxDests() int {
+	m := 0
+	for i := 0; i < r.size; i++ {
+		if d := len(r.Dests(i)); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TotalMessages sums all recorded messages.
+func (r *Recorder) TotalMessages() int64 {
+	var t int64
+	for i := range r.msgs {
+		for _, n := range r.msgs[i] {
+			t += n
+		}
+	}
+	return t
+}
+
+// TotalBytes sums all recorded bytes.
+func (r *Recorder) TotalBytes() int64 {
+	var t int64
+	for i := range r.bytes {
+		for _, n := range r.bytes[i] {
+			t += n
+		}
+	}
+	return t
+}
+
+// Density is the fraction of ordered rank pairs that exchanged at least one
+// message — 1.0 for a fully-connected pattern like alltoall.
+func (r *Recorder) Density() float64 {
+	if r.size < 2 {
+		return 0
+	}
+	used := 0
+	for i := 0; i < r.size; i++ {
+		used += len(r.Dests(i))
+	}
+	return float64(used) / float64(r.size*(r.size-1))
+}
+
+// RenderMatrix writes an ASCII heat map of the message-count matrix:
+// '.' none, then '1'..'9' for increasing decades of messages.
+func (r *Recorder) RenderMatrix(w io.Writer) {
+	fmt.Fprintf(w, "communication matrix (%d ranks, rows=src, cols=dst; log10 scale)\n", r.size)
+	fmt.Fprint(w, "     ")
+	for d := 0; d < r.size; d++ {
+		fmt.Fprintf(w, "%d", d%10)
+	}
+	fmt.Fprintln(w)
+	for s := 0; s < r.size; s++ {
+		fmt.Fprintf(w, "%4d ", s)
+		for d := 0; d < r.size; d++ {
+			fmt.Fprint(w, cellChar(r.msgs[s][d]))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func cellChar(n int64) string {
+	if n <= 0 {
+		return "."
+	}
+	decade := 1
+	for n >= 10 {
+		n /= 10
+		decade++
+	}
+	if decade > 9 {
+		decade = 9
+	}
+	return fmt.Sprint(decade)
+}
+
+// Summary writes aggregate statistics.
+func (r *Recorder) Summary(w io.Writer) {
+	fmt.Fprintf(w, "messages: %d, bytes: %d\n", r.TotalMessages(), r.TotalBytes())
+	fmt.Fprintf(w, "avg distinct destinations/rank: %.2f (max %d of %d possible)\n",
+		r.AvgDests(), r.MaxDests(), r.size-1)
+	fmt.Fprintf(w, "pair density: %.2f\n", r.Density())
+}

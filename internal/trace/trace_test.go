@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordAndCounts(t *testing.T) {
+	r := New(4, true)
+	r.Record(10, 0, 1, 100, 7)
+	r.Record(20, 0, 1, 50, 7)
+	r.Record(30, 1, 2, 25, 8)
+	r.Record(40, 9, 1, 1, 0) // out of range: ignored
+	if r.Messages(0, 1) != 2 || r.Bytes(0, 1) != 150 {
+		t.Fatalf("0->1: %d msgs %d bytes", r.Messages(0, 1), r.Bytes(0, 1))
+	}
+	if r.TotalMessages() != 3 || r.TotalBytes() != 175 {
+		t.Fatalf("totals: %d %d", r.TotalMessages(), r.TotalBytes())
+	}
+	if len(r.Events()) != 3 {
+		t.Fatalf("events: %d", len(r.Events()))
+	}
+}
+
+func TestDests(t *testing.T) {
+	r := New(5, false)
+	r.Record(0, 2, 4, 1, 0)
+	r.Record(0, 2, 0, 1, 0)
+	r.Record(0, 2, 4, 1, 0)
+	r.Record(0, 2, 2, 1, 0) // self: excluded
+	ds := r.Dests(2)
+	if len(ds) != 2 || ds[0] != 0 || ds[1] != 4 {
+		t.Fatalf("dests = %v", ds)
+	}
+	if r.MaxDests() != 2 {
+		t.Fatalf("max = %d", r.MaxDests())
+	}
+	if got := r.AvgDests(); got != 2.0/5 {
+		t.Fatalf("avg = %v", got)
+	}
+}
+
+func TestDensity(t *testing.T) {
+	r := New(3, false)
+	if r.Density() != 0 {
+		t.Fatal("empty density")
+	}
+	for s := 0; s < 3; s++ {
+		for d := 0; d < 3; d++ {
+			if s != d {
+				r.Record(0, s, d, 1, 0)
+			}
+		}
+	}
+	if r.Density() != 1.0 {
+		t.Fatalf("full density = %v", r.Density())
+	}
+}
+
+func TestRenderMatrixAndSummary(t *testing.T) {
+	r := New(3, false)
+	for i := 0; i < 123; i++ {
+		r.Record(0, 0, 1, 10, 0)
+	}
+	r.Record(0, 1, 2, 10, 0)
+	var buf bytes.Buffer
+	r.RenderMatrix(&buf)
+	out := buf.String()
+	if !strings.Contains(out, ".3.") { // 123 msgs => decade 3
+		t.Fatalf("matrix missing decade cell:\n%s", out)
+	}
+	buf.Reset()
+	r.Summary(&buf)
+	if !strings.Contains(buf.String(), "messages: 124") {
+		t.Fatalf("summary:\n%s", buf.String())
+	}
+}
+
+func TestCellChar(t *testing.T) {
+	cases := map[int64]string{0: ".", 1: "1", 9: "1", 10: "2", 99: "2", 100: "3", 1e12: "9"}
+	for n, want := range cases {
+		if got := cellChar(n); got != want {
+			t.Errorf("cellChar(%d) = %s, want %s", n, got, want)
+		}
+	}
+}
+
+// Property: matrices agree with an independently-maintained reference.
+func TestPropertyMatrixConsistency(t *testing.T) {
+	f := func(raw []uint16) bool {
+		r := New(8, false)
+		ref := map[[2]int]int64{}
+		for _, v := range raw {
+			s, d := int(v)%8, int(v>>8)%8
+			r.Record(0, s, d, 1, 0)
+			ref[[2]int{s, d}]++
+		}
+		for k, n := range ref {
+			if r.Messages(k[0], k[1]) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package via
+
+import "viampi/internal/simnet"
+
+// CQ is a completion queue. VIs created with CreateViCQ deliver their receive
+// completions here in arrival order, so a host can reap completions across
+// many VIs with a single poll instead of scanning every VI (cf. VipCQDone /
+// VipCQWait). The MPI progress engine uses one CQ per process for receives.
+type CQ struct {
+	port    *Port
+	entries []cqEntry
+}
+
+type cqEntry struct {
+	vi *VI
+	d  *Descriptor
+}
+
+// NewCQ creates a completion queue on port.
+func NewCQ(port *Port) *CQ { return &CQ{port: port} }
+
+func (q *CQ) push(vi *VI, d *Descriptor) {
+	q.entries = append(q.entries, cqEntry{vi, d})
+}
+
+// Len returns the number of unreaped completions.
+func (q *CQ) Len() int { return len(q.entries) }
+
+// Done polls the CQ: it returns the oldest completion, removing both the CQ
+// entry and the descriptor from its VI's receive queue, or (nil, nil).
+func (q *CQ) Done() (*VI, *Descriptor) {
+	q.port.ChargeHost(q.port.net.cost.PollOverhead)
+	if len(q.entries) == 0 {
+		return nil, nil
+	}
+	e := q.entries[0]
+	q.entries = q.entries[1:]
+	// Detach the descriptor from its VI's posted queue.
+	for i, d := range e.vi.recvQ {
+		if d == e.d {
+			e.vi.recvQ = append(e.vi.recvQ[:i], e.vi.recvQ[i+1:]...)
+			break
+		}
+	}
+	return e.vi, e.d
+}
+
+// Wait blocks until a completion is available (cf. VipCQWait). A negative
+// timeout waits forever.
+func (q *CQ) Wait(mode WaitMode, timeout simnet.Duration) (*VI, *Descriptor, error) {
+	deadline := simnet.Time(-1)
+	if timeout >= 0 {
+		deadline = q.port.owner.Now().Add(timeout)
+	}
+	for {
+		if vi, d := q.Done(); d != nil {
+			return vi, d, nil
+		}
+		if deadline >= 0 {
+			left := deadline.Sub(q.port.owner.Now())
+			if left <= 0 || !q.port.WaitActivityTimeout(mode, left) {
+				return nil, nil, ErrTimeout
+			}
+		} else {
+			q.port.WaitActivity(mode)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package via
+
+import (
+	"fmt"
+
+	"viampi/internal/fabric"
+	"viampi/internal/simnet"
+)
+
+// Network is a VIA provider instance spanning the whole simulated cluster.
+// Each MPI process opens one Port on it.
+type Network struct {
+	sim     *simnet.Sim
+	cluster *fabric.Cluster
+	cost    CostModel
+	nodes   []*nodeState
+	ports   []*Port
+
+	// DroppedNoDescriptor counts messages that arrived on a VI with no
+	// posted receive descriptor (a flow-control violation in the upper
+	// layer; the VI enters the error state).
+	DroppedNoDescriptor int
+	// DiscardedSends counts sends posted to unconnected VIs.
+	DiscardedSends int
+}
+
+// nodeState is the per-physical-node NIC service state shared by all ports
+// (processes) on that node.
+type nodeState struct {
+	txFree  simnet.Time
+	rxFree  simnet.Time
+	openVIs int // open VI endpoints across all ports on this node
+}
+
+// NewNetwork creates a VIA provider over a fresh fabric cluster.
+func NewNetwork(sim *simnet.Sim, fcfg fabric.Config, cost CostModel) *Network {
+	n := &Network{
+		sim:     sim,
+		cluster: fabric.New(sim, fcfg),
+		cost:    cost,
+		nodes:   make([]*nodeState, fcfg.Nodes),
+	}
+	for i := range n.nodes {
+		n.nodes[i] = &nodeState{}
+	}
+	return n
+}
+
+// Sim returns the driving simulation.
+func (n *Network) Sim() *simnet.Sim { return n.sim }
+
+// Cluster returns the underlying fabric.
+func (n *Network) Cluster() *fabric.Cluster { return n.cluster }
+
+// Cost returns the device cost model.
+func (n *Network) Cost() CostModel { return n.cost }
+
+// Ports returns all opened ports in open order.
+func (n *Network) Ports() []*Port { return n.ports }
+
+// Open attaches a new port (one per process) owned by proc, using block
+// placement. The owner is the only process that may invoke blocking
+// operations on the port.
+func (n *Network) Open(owner *simnet.Proc) (*Port, error) {
+	return n.open(owner, -1)
+}
+
+// OpenOnNode attaches a new port pinned to a specific node — the hook for
+// non-block placement policies.
+func (n *Network) OpenOnNode(owner *simnet.Proc, node int) (*Port, error) {
+	return n.open(owner, node)
+}
+
+func (n *Network) open(owner *simnet.Proc, node int) (*Port, error) {
+	p := &Port{
+		net:         n,
+		owner:       owner,
+		mem:         NewMemoryRegistry(n.cost.MaxPinnedBytes),
+		outgoing:    make(map[connKey]*VI),
+		rdmaTargets: make(map[uint64][]byte),
+	}
+	var ep int
+	var err error
+	if node < 0 {
+		ep, err = n.cluster.Attach(p.handleFrame)
+	} else {
+		ep, err = n.cluster.AttachNode(node, p.handleFrame)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.ep = ep
+	p.node = n.cluster.NodeOf(ep)
+	n.ports = append(n.ports, p)
+	return p, nil
+}
+
+// serviceTx books NIC transmit service for one frame on node nd and returns
+// the completion time. Per-VI doorbell scan cost models BVIA firmware.
+func (n *Network) serviceTx(nd int) simnet.Time {
+	ns := n.nodes[nd]
+	start := n.sim.Now()
+	if ns.txFree > start {
+		start = ns.txFree
+	}
+	d := n.cost.NicTxBase + simnet.Duration(ns.openVIs)*n.cost.NicTxPerVI
+	ns.txFree = start.Add(d)
+	return ns.txFree
+}
+
+// serviceRx books NIC receive service for one frame on node nd starting at
+// the frame's arrival (now) and returns the delivery time.
+func (n *Network) serviceRx(nd int) simnet.Time {
+	ns := n.nodes[nd]
+	start := n.sim.Now()
+	if ns.rxFree > start {
+		start = ns.rxFree
+	}
+	d := n.cost.NicRxBase + simnet.Duration(ns.openVIs)*n.cost.NicRxPerVI
+	ns.rxFree = start.Add(d)
+	return ns.rxFree
+}
+
+// sendFrame pushes a wire message from port p into the fabric after NIC
+// transmit service, returning the time the NIC finished accepting it (which
+// is when the associated descriptor completes locally).
+func (n *Network) sendFrame(p *Port, dstEp int, m *wireMsg, payloadLen int) simnet.Time {
+	txDone := n.serviceTx(p.node)
+	size := payloadLen + n.cost.FrameHeaderBytes
+	n.sim.At(txDone, func() {
+		n.cluster.Send(fabric.Frame{Src: p.ep, Dst: dstEp, Size: size, Payload: m}, 0)
+	})
+	return txDone
+}
+
+// OpenVIsOnNode reports open VI endpoints on node nd (for tests/harness).
+func (n *Network) OpenVIsOnNode(nd int) int { return n.nodes[nd].openVIs }
+
+// TotalOpenVIs reports open VI endpoints across the cluster.
+func (n *Network) TotalOpenVIs() int {
+	t := 0
+	for _, ns := range n.nodes {
+		t += ns.openVIs
+	}
+	return t
+}
+
+func (n *Network) String() string {
+	return fmt.Sprintf("via.Network(%s, %d ports, %d open VIs)",
+		n.cost.Name, len(n.ports), n.TotalOpenVIs())
+}

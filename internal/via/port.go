@@ -1,0 +1,496 @@
+package via
+
+import (
+	"fmt"
+
+	"viampi/internal/fabric"
+	"viampi/internal/simnet"
+)
+
+// WaitMode selects how blocking completion waits behave.
+type WaitMode int
+
+const (
+	// WaitPoll spins forever: the waiter observes completions immediately
+	// and never pays a wakeup penalty ("polling" in the paper).
+	WaitPoll WaitMode = iota
+	// WaitSpin polls for the device's spin budget, then falls back to a
+	// blocking (interrupt-based) wait that pays CostModel.WaitWakeup when
+	// satisfied ("spinwait", MVICH's default on cLAN with spincount=100).
+	// On devices where wait itself is a poll loop (BVIA), WaitSpin behaves
+	// exactly like WaitPoll.
+	WaitSpin
+)
+
+func (m WaitMode) String() string {
+	if m == WaitSpin {
+		return "spinwait"
+	}
+	return "polling"
+}
+
+type connKey struct {
+	remoteEp int
+	disc     uint64
+}
+
+// PortStats aggregates per-process resource usage for the scalability tables.
+type PortStats struct {
+	VisCreated   int
+	VisConnected int
+	MsgsSent     int64
+	MsgsRecv     int64
+	BytesSent    int64
+	BytesRecv    int64
+	RdmaBytes    int64
+	ConnReqsSent int
+	WaitWakeups  int64 // blocking waits that overran the spin budget
+}
+
+// Port is a process's handle on the VIA provider (cf. VipOpenNic). All
+// blocking calls must be made by the owning process.
+type Port struct {
+	net   *Network
+	ep    int
+	node  int
+	owner *simnet.Proc
+	mem   *MemoryRegistry
+
+	vis    []*VI
+	nextVi int
+
+	outgoing        map[connKey]*VI // VIs with an outstanding REQ
+	pendingIncoming []*PeerRequest  // unmatched incoming REQs
+
+	activity     bool
+	parkedInWait bool
+	debt         simnet.Duration
+	closed       bool
+
+	rdmaTargets map[uint64][]byte
+	nextRdmaKey uint64
+
+	oobQ []oobMsg
+
+	stats PortStats
+}
+
+// oobMsg is a queued out-of-band (management network) message.
+type oobMsg struct {
+	from Addr
+	data []byte
+}
+
+// Addr returns the port's network address for use in connection requests.
+func (p *Port) Addr() Addr { return Addr{Ep: p.ep} }
+
+// Owner returns the owning process.
+func (p *Port) Owner() *simnet.Proc { return p.owner }
+
+// Node returns the physical node hosting this port.
+func (p *Port) Node() int { return p.node }
+
+// Memory returns the port's registered-memory accounting.
+func (p *Port) Memory() *MemoryRegistry { return p.mem }
+
+// Stats returns a snapshot of the port's resource counters.
+func (p *Port) Stats() PortStats { return p.stats }
+
+// Network returns the provider this port belongs to.
+func (p *Port) Network() *Network { return p.net }
+
+// ChargeHost accumulates host CPU cost against the owning process. The debt
+// is flushed (converted into simulated compute time) once it crosses a small
+// threshold or before the process blocks, keeping event counts manageable.
+func (p *Port) ChargeHost(d simnet.Duration) {
+	p.debt += d
+	if p.debt >= 2*simnet.Microsecond {
+		p.FlushDebt()
+	}
+}
+
+// FlushDebt charges all accumulated host cost as compute time now.
+func (p *Port) FlushDebt() {
+	if p.debt > 0 {
+		d := p.debt
+		p.debt = 0
+		p.owner.Compute(d)
+	}
+}
+
+// notifyActivity records that something observable happened on the port and
+// wakes the owner if it is blocked in WaitActivity.
+func (p *Port) notifyActivity() {
+	p.activity = true
+	if p.parkedInWait {
+		p.owner.Wake()
+	}
+}
+
+// WaitActivity blocks the owner until activity occurs on the port (a
+// completion, a connection event, or an incoming request). Under WaitSpin on
+// an interrupt-wait device, overrunning the spin budget costs a wakeup
+// penalty, reproducing the paper's spinwait behaviour.
+func (p *Port) WaitActivity(mode WaitMode) {
+	p.waitActivity(mode, -1)
+}
+
+// WaitActivityTimeout is WaitActivity with a timeout; it reports false if the
+// timeout elapsed with no activity.
+func (p *Port) WaitActivityTimeout(mode WaitMode, d simnet.Duration) bool {
+	return p.waitActivity(mode, d)
+}
+
+func (p *Port) waitActivity(mode WaitMode, timeout simnet.Duration) bool {
+	p.FlushDebt()
+	if p.activity {
+		p.activity = false
+		return true
+	}
+	start := p.owner.Now()
+	p.parkedInWait = true
+	var woken bool
+	if timeout < 0 {
+		p.owner.Park()
+		woken = true
+	} else {
+		woken = p.owner.ParkTimeout(timeout)
+	}
+	p.parkedInWait = false
+	p.activity = false
+	if woken && mode == WaitSpin && !p.net.cost.WaitIsSpin {
+		if p.owner.Now().Sub(start) > p.net.cost.SpinBudget() {
+			p.stats.WaitWakeups++
+			p.owner.Compute(p.net.cost.WaitWakeup)
+		}
+	}
+	return woken
+}
+
+// CreateVi creates a new VI endpoint on this port.
+func (p *Port) CreateVi() (*VI, error) { return p.CreateViCQ(nil) }
+
+// CreateViCQ creates a VI whose receive completions are also delivered to cq.
+func (p *Port) CreateViCQ(cq *CQ) (*VI, error) {
+	if p.closed {
+		return nil, ErrClosed
+	}
+	live := 0
+	for _, v := range p.vis {
+		if v != nil && v.state != ViClosed {
+			live++
+		}
+	}
+	if live >= p.net.cost.MaxVIsPerPort {
+		return nil, fmt.Errorf("%w: %d", ErrTooManyVIs, p.net.cost.MaxVIsPerPort)
+	}
+	p.ChargeHost(p.net.cost.CreateViCost)
+	vi := &VI{port: p, id: p.nextVi, recvCQ: cq}
+	p.nextVi++
+	p.vis = append(p.vis, vi)
+	p.net.nodes[p.node].openVIs++
+	p.stats.VisCreated++
+	return vi, nil
+}
+
+// RegisterRdmaTarget registers buf as an RDMA write target and returns the
+// key a remote peer can address it with (carried in rendezvous CTS
+// messages). The buffer counts against the pinned-memory limit.
+func (p *Port) RegisterRdmaTarget(buf []byte) (uint64, MemHandle, error) {
+	h, err := p.mem.Register(int64(len(buf)))
+	if err != nil {
+		return 0, 0, err
+	}
+	p.nextRdmaKey++
+	key := p.nextRdmaKey
+	p.rdmaTargets[key] = buf
+	return key, h, nil
+}
+
+// ReleaseRdmaTarget removes an RDMA target and unpins its buffer.
+func (p *Port) ReleaseRdmaTarget(key uint64, h MemHandle) error {
+	if _, ok := p.rdmaTargets[key]; !ok {
+		return ErrUnknownRdmaKey
+	}
+	delete(p.rdmaTargets, key)
+	return p.mem.Deregister(h)
+}
+
+// ConnectPeerRequest issues a non-blocking peer-to-peer connection request
+// from vi to the VI at remote identified by disc (cf. VipConnectPeerRequest).
+// The VI transitions to ViConnecting and later to ViConnected when the
+// matching request from the other side is seen; completion is observed by
+// polling vi.State or via WaitActivity.
+func (p *Port) ConnectPeerRequest(vi *VI, remote Addr, disc uint64) error {
+	if vi.port != p {
+		return fmt.Errorf("via: VI belongs to a different port")
+	}
+	if vi.state != ViIdle {
+		return fmt.Errorf("%w: ConnectPeerRequest in state %v", ErrBadState, vi.state)
+	}
+	p.owner.Compute(p.net.cost.ConnectLocalCost) // OS involvement
+	vi.state = ViConnecting
+	vi.remoteEp = remote.Ep
+	vi.disc = disc
+	p.stats.ConnReqsSent++
+
+	// If the matching request already arrived, complete the rendezvous now.
+	for i, req := range p.pendingIncoming {
+		if req.From.Ep == remote.Ep && req.Disc == disc {
+			p.pendingIncoming = append(p.pendingIncoming[:i], p.pendingIncoming[i+1:]...)
+			p.establishAfter(vi, req.RemoteVi, p.net.cost.ConnectProcCost, true)
+			return nil
+		}
+	}
+	p.outgoing[connKey{remote.Ep, disc}] = vi
+	p.net.sendFrame(p, remote.Ep, &wireMsg{
+		kind: kindConnReq, srcEp: p.ep, srcVi: vi.id, disc: disc,
+	}, 64)
+	return nil
+}
+
+// ConnectPeerWait blocks until vi leaves ViConnecting, with a timeout
+// (negative = infinite). It returns nil once connected.
+func (p *Port) ConnectPeerWait(vi *VI, mode WaitMode, timeout simnet.Duration) error {
+	deadline := simnet.Time(-1)
+	if timeout >= 0 {
+		deadline = p.owner.Now().Add(timeout)
+	}
+	for vi.state == ViConnecting {
+		if deadline >= 0 {
+			left := deadline.Sub(p.owner.Now())
+			if left <= 0 || !p.WaitActivityTimeout(mode, left) {
+				return ErrTimeout
+			}
+		} else {
+			p.WaitActivity(mode)
+		}
+	}
+	switch vi.state {
+	case ViConnected:
+		return nil
+	case ViIdle:
+		return ErrRejected
+	default:
+		return fmt.Errorf("%w: %v", ErrBadState, vi.state)
+	}
+}
+
+// ConnectRequest is the client side of the client-server model: it issues a
+// request and blocks until the server accepts or rejects.
+func (p *Port) ConnectRequest(vi *VI, remote Addr, disc uint64, mode WaitMode) error {
+	if err := p.ConnectPeerRequest(vi, remote, disc); err != nil {
+		return err
+	}
+	return p.ConnectPeerWait(vi, mode, -1)
+}
+
+// PendingPeerRequests returns incoming, not-yet-matched connection requests.
+// The on-demand progress engine polls this to notice peers that want to
+// talk (the slice is live; use ConnectPeerRequest or Accept to consume).
+func (p *Port) PendingPeerRequests() []*PeerRequest {
+	return p.pendingIncoming
+}
+
+// ConnectWaitDisc blocks until an incoming request with the given
+// discriminator arrives, and returns it without consuming it from any VI:
+// the server side of the client-server model. MVICH's static client-server
+// implementation waits for each expected discriminator *in rank order*,
+// which is what serializes its startup (paper §5.6); callers reproduce that
+// by invoking this with successive discriminators.
+func (p *Port) ConnectWaitDisc(disc uint64, mode WaitMode, timeout simnet.Duration) (*PeerRequest, error) {
+	deadline := simnet.Time(-1)
+	if timeout >= 0 {
+		deadline = p.owner.Now().Add(timeout)
+	}
+	for {
+		for i, req := range p.pendingIncoming {
+			if req.Disc == disc {
+				p.pendingIncoming = append(p.pendingIncoming[:i], p.pendingIncoming[i+1:]...)
+				return req, nil
+			}
+		}
+		if deadline >= 0 {
+			left := deadline.Sub(p.owner.Now())
+			if left <= 0 || !p.WaitActivityTimeout(mode, left) {
+				return nil, ErrTimeout
+			}
+		} else {
+			p.WaitActivity(mode)
+		}
+	}
+}
+
+// Accept completes an incoming request on vi (server side).
+func (p *Port) Accept(req *PeerRequest, vi *VI) error {
+	if vi.port != p {
+		return fmt.Errorf("via: VI belongs to a different port")
+	}
+	if vi.state != ViIdle {
+		return fmt.Errorf("%w: Accept in state %v", ErrBadState, vi.state)
+	}
+	p.owner.Compute(p.net.cost.ConnectLocalCost)
+	vi.state = ViConnecting
+	vi.remoteEp = req.From.Ep
+	vi.disc = req.Disc
+	p.establishAfter(vi, req.RemoteVi, p.net.cost.ConnectProcCost, true)
+	return nil
+}
+
+// Reject refuses an incoming request, consuming it from the pending list if
+// it is still there.
+func (p *Port) Reject(req *PeerRequest) {
+	for i, r := range p.pendingIncoming {
+		if r == req {
+			p.pendingIncoming = append(p.pendingIncoming[:i], p.pendingIncoming[i+1:]...)
+			break
+		}
+	}
+	p.net.sendFrame(p, req.From.Ep, &wireMsg{
+		kind: kindConnNack, srcEp: p.ep, disc: req.Disc, dstVi: req.RemoteVi,
+	}, 64)
+}
+
+// establishAfter moves vi to ViConnected after d, and optionally sends the
+// ACK that lets the remote side complete.
+func (p *Port) establishAfter(vi *VI, remoteVi int, d simnet.Duration, sendAck bool) {
+	p.net.sim.After(d, func() {
+		if vi.state != ViConnecting {
+			return
+		}
+		vi.remoteVi = remoteVi
+		vi.state = ViConnected
+		p.stats.VisConnected++
+		if sendAck {
+			p.net.sendFrame(p, vi.remoteEp, &wireMsg{
+				kind: kindConnAck, srcEp: p.ep, srcVi: vi.id, disc: vi.disc, dstVi: remoteVi,
+			}, 64)
+		}
+		vi.deliverHeld()
+		p.notifyActivity()
+	})
+}
+
+// handleFrame is the fabric delivery callback: it books NIC receive service
+// and then dispatches the wire message.
+func (p *Port) handleFrame(f fabric.Frame) {
+	m := f.Payload.(*wireMsg)
+	if m.kind == kindOob {
+		// Management-network traffic does not touch the VIA NIC.
+		p.dispatch(m)
+		return
+	}
+	deliverAt := p.net.serviceRx(p.node)
+	p.net.sim.At(deliverAt, func() { p.dispatch(m) })
+}
+
+func (p *Port) dispatch(m *wireMsg) {
+	if p.closed {
+		return
+	}
+	switch m.kind {
+	case kindConnReq:
+		key := connKey{m.srcEp, m.disc}
+		if vi, ok := p.outgoing[key]; ok && vi.state == ViConnecting {
+			// Crossing peer requests: both sides establish.
+			delete(p.outgoing, key)
+			p.establishAfter(vi, m.srcVi, p.net.cost.ConnectProcCost, true)
+			return
+		}
+		p.pendingIncoming = append(p.pendingIncoming, &PeerRequest{
+			From: Addr{Ep: m.srcEp}, Disc: m.disc, RemoteVi: m.srcVi,
+		})
+		p.notifyActivity()
+	case kindConnAck:
+		key := connKey{m.srcEp, m.disc}
+		if vi, ok := p.outgoing[key]; ok && vi.state == ViConnecting {
+			delete(p.outgoing, key)
+			vi.remoteVi = m.srcVi
+			vi.state = ViConnected
+			p.stats.VisConnected++
+			vi.deliverHeld()
+			p.notifyActivity()
+		}
+	case kindConnNack:
+		key := connKey{m.srcEp, m.disc}
+		if vi, ok := p.outgoing[key]; ok && vi.state == ViConnecting {
+			delete(p.outgoing, key)
+			vi.state = ViIdle
+			vi.remoteEp = -1
+			p.notifyActivity()
+		}
+	case kindDisc:
+		if vi := p.lookupVi(m.dstVi); vi != nil && vi.state == ViConnected {
+			vi.state = ViDisconnected
+			vi.failPending(StatusDisconnected)
+			p.notifyActivity()
+		}
+	case kindData:
+		if vi := p.lookupVi(m.dstVi); vi != nil {
+			vi.handleData(m)
+		}
+	case kindRdma:
+		if buf, ok := p.rdmaTargets[m.rdmaKey]; ok {
+			copy(buf[m.rdmaOff+m.offset:], m.data)
+			p.stats.RdmaBytes += int64(len(m.data))
+		} else {
+			p.net.sim.Failf("via: RDMA write to unknown key %d at port %d", m.rdmaKey, p.ep)
+		}
+	case kindOob:
+		p.oobQ = append(p.oobQ, oobMsg{from: Addr{Ep: m.srcEp}, data: m.data})
+		p.notifyActivity()
+	}
+}
+
+// SendOob delivers data to dst over the out-of-band management network
+// (Ethernet/TCP in the real system) — used for job bootstrap, never for MPI
+// traffic. It bypasses NIC service and link serialization.
+func (p *Port) SendOob(dst Addr, data []byte) {
+	cp := append([]byte(nil), data...)
+	p.net.cluster.SendMgmt(fabric.Frame{
+		Src: p.ep, Dst: dst.Ep, Size: len(cp),
+		Payload: &wireMsg{kind: kindOob, srcEp: p.ep, data: cp},
+	})
+}
+
+// RecvOob polls for an out-of-band message; ok is false when none is queued.
+func (p *Port) RecvOob() (from Addr, data []byte, ok bool) {
+	if len(p.oobQ) == 0 {
+		return Addr{}, nil, false
+	}
+	m := p.oobQ[0]
+	p.oobQ = p.oobQ[1:]
+	return m.from, m.data, true
+}
+
+func (p *Port) lookupVi(id int) *VI {
+	if id < 0 || id >= len(p.vis) {
+		return nil
+	}
+	return p.vis[id]
+}
+
+// Close tears down all VIs on the port and marks it closed.
+func (p *Port) Close() {
+	if p.closed {
+		return
+	}
+	for _, vi := range p.vis {
+		if vi != nil && vi.state != ViClosed {
+			vi.Close()
+		}
+	}
+	p.closed = true
+}
+
+// VisUsed counts VIs that carried at least one data message in either
+// direction — the numerator of the paper's resource-utilization metric.
+func (p *Port) VisUsed() int {
+	n := 0
+	for _, vi := range p.vis {
+		if vi != nil && (vi.usedTx || vi.usedRx) {
+			n++
+		}
+	}
+	return n
+}

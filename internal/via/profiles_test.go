@@ -1,0 +1,51 @@
+package via
+
+import "testing"
+
+// TestDevicePersonalities locks the invariants that distinguish the three
+// device models — the properties every experiment's interpretation rests on.
+func TestDevicePersonalities(t *testing.T) {
+	clan, bvia, ib := ClanCost(), BviaCost(), IbCost()
+
+	// Only Berkeley VIA pays per-open-VI NIC service (firmware doorbell scan).
+	if clan.NicTxPerVI != 0 || clan.NicRxPerVI != 0 {
+		t.Error("cLAN must have hardware doorbells (no per-VI cost)")
+	}
+	if ib.NicTxPerVI != 0 || ib.NicRxPerVI != 0 {
+		t.Error("IB must have hardware doorbells (no per-VI cost)")
+	}
+	if bvia.NicTxPerVI <= 0 || bvia.NicRxPerVI <= 0 {
+		t.Error("BVIA must scan doorbells per open VI")
+	}
+
+	// Only Berkeley VIA implements wait as a spin.
+	if bvia.WaitIsSpin != true || clan.WaitIsSpin || ib.WaitIsSpin {
+		t.Error("wait personalities wrong")
+	}
+	if clan.WaitWakeup <= clan.SpinBudget() {
+		t.Error("cLAN wakeup penalty must exceed the spin budget (the barrier cascade)")
+	}
+
+	// Base NIC service orders the devices' latency: ib < clan < bvia.
+	if !(ib.NicTxBase < clan.NicTxBase && clan.NicTxBase < bvia.NicTxBase) {
+		t.Errorf("NIC base ordering broken: ib=%v clan=%v bvia=%v",
+			ib.NicTxBase, clan.NicTxBase, bvia.NicTxBase)
+	}
+
+	// Fabric bandwidth ordering: ib > clan > bvia.
+	cf, bf, iff := ClanFabric(2, 1), BviaFabric(2, 1), IbFabric(2, 1)
+	if !(iff.BandwidthBps > cf.BandwidthBps && cf.BandwidthBps > bf.BandwidthBps) {
+		t.Error("bandwidth ordering broken")
+	}
+
+	// Connection setup always involves the OS: same order of magnitude on
+	// every device — the paper's point that faster fabrics don't fix it.
+	for _, c := range []CostModel{clan, bvia, ib} {
+		if c.ConnectLocalCost < 100*1000 { // >= 100 µs
+			t.Errorf("%s: connection setup %v implausibly cheap", c.Name, c.ConnectLocalCost)
+		}
+		if c.MaxVIsPerPort <= 0 || c.MaxPinnedBytes <= 0 || c.MTU <= 0 {
+			t.Errorf("%s: capacities must be bounded", c.Name)
+		}
+	}
+}

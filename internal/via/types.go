@@ -1,0 +1,147 @@
+package via
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Status is the completion status of a descriptor.
+type Status int
+
+// Descriptor completion statuses.
+const (
+	StatusPending      Status = iota // not yet complete
+	StatusSuccess                    // transfer completed
+	StatusNotConnected               // send posted to an unconnected VI: discarded (VIPL semantics)
+	StatusDisconnected               // connection went away before completion
+	StatusErrorState                 // VI entered the error state (e.g. receive with no posted descriptor)
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusSuccess:
+		return "success"
+	case StatusNotConnected:
+		return "not-connected"
+	case StatusDisconnected:
+		return "disconnected"
+	case StatusErrorState:
+		return "error-state"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// ViState is the connection state of a VI endpoint.
+type ViState int
+
+// VI endpoint states, mirroring the VIPL connection state machine.
+const (
+	ViIdle       ViState = iota // created, not connected
+	ViConnecting                // peer/client request outstanding
+	ViConnected
+	ViError        // reliable-delivery violation (receive with no descriptor)
+	ViDisconnected // remote side went away
+	ViClosed
+)
+
+func (s ViState) String() string {
+	switch s {
+	case ViIdle:
+		return "idle"
+	case ViConnecting:
+		return "connecting"
+	case ViConnected:
+		return "connected"
+	case ViError:
+		return "error"
+	case ViDisconnected:
+		return "disconnected"
+	case ViClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("ViState(%d)", int(s))
+	}
+}
+
+// Errors returned by the via layer.
+var (
+	ErrTooManyVIs     = errors.New("via: VI limit for this port exceeded")
+	ErrPinnedLimit    = errors.New("via: registered-memory limit exceeded")
+	ErrBadState       = errors.New("via: operation invalid in current VI state")
+	ErrRejected       = errors.New("via: connection request rejected")
+	ErrTimeout        = errors.New("via: operation timed out")
+	ErrClosed         = errors.New("via: port or VI closed")
+	ErrUnknownRdmaKey = errors.New("via: unknown RDMA target key")
+	ErrNotRegistered  = errors.New("via: buffer not in a registered region")
+)
+
+// Addr is the network address of a port (a process's NIC handle).
+type Addr struct {
+	Ep int // fabric endpoint id
+}
+
+// PeerRequest describes an incoming connection request that has not yet been
+// matched by a local request (peer-to-peer model) or accepted (client-server
+// model).
+type PeerRequest struct {
+	From     Addr
+	Disc     uint64 // connection discriminator
+	RemoteVi int    // requester's VI id
+}
+
+// Descriptor is a work request posted to a VI queue. Exactly one of the
+// send/receive/RDMA uses applies per descriptor. The Buf slice must lie in a
+// registered memory region of the posting port.
+type Descriptor struct {
+	Buf []byte // data to send, or receive landing buffer
+	Len int    // bytes to send; for receives, set on completion
+
+	// RDMA write fields (send-queue descriptors only).
+	RdmaKey    uint64 // remote target key from RegisterRdmaTarget
+	RdmaOffset int    // byte offset within the remote target
+
+	Status  Status
+	XferLen int // bytes actually transferred
+
+	// UserPtr lets upper layers attach context (e.g. the MPI request).
+	UserPtr interface{}
+
+	vi   *VI
+	rdma bool
+}
+
+// Done reports whether the descriptor has completed (any status).
+func (d *Descriptor) Done() bool { return d.Status != StatusPending }
+
+// VI returns the endpoint this descriptor was posted to, nil before posting.
+func (d *Descriptor) VI() *VI { return d.vi }
+
+// wire message kinds
+const (
+	kindConnReq byte = iota + 1
+	kindConnAck
+	kindConnNack
+	kindDisc
+	kindData
+	kindRdma
+	kindOob
+)
+
+// wireMsg is the payload carried inside a fabric frame.
+type wireMsg struct {
+	kind   byte
+	srcEp  int
+	srcVi  int
+	dstVi  int
+	disc   uint64
+	seq    uint64 // per-VI data sequence, for assertions
+	offset int    // fragment offset within the message
+	total  int    // total message length
+	data   []byte // fragment payload (copied at post time)
+
+	rdmaKey uint64 // RDMA target key
+	rdmaOff int    // base offset of the RDMA write
+}

@@ -1,0 +1,363 @@
+package via
+
+import (
+	"fmt"
+
+	"viampi/internal/simnet"
+)
+
+// VI is a Virtual Interface endpoint: a bidirectional communication endpoint
+// with a send work queue and a receive work queue (cf. VIPL's VIP_VI_HANDLE).
+// A VI must be connected to exactly one remote VI before data can flow.
+type VI struct {
+	port *Port
+	id   int
+
+	state    ViState
+	remoteEp int
+	remoteVi int
+	disc     uint64
+
+	sendQ []*Descriptor // posted sends, FIFO; completed in order
+	recvQ []*Descriptor // posted receives, FIFO; consumed in arrival order
+
+	recvCQ *CQ
+
+	// receive reassembly state for the in-flight message
+	rxCur *Descriptor
+	rxGot int
+
+	// preConnQ holds data frames that arrived while the local side of the
+	// handshake was still completing. A peer may legitimately consider the
+	// connection established and transmit slightly before our own
+	// transition fires; the provider holds such frames and delivers them at
+	// establishment (reliable delivery, as real VIA hardware guarantees).
+	preConnQ []*wireMsg
+
+	seqOut uint64
+	seqIn  uint64
+
+	usedTx bool
+	usedRx bool
+}
+
+// ID returns the VI's id, unique within its port.
+func (vi *VI) ID() int { return vi.id }
+
+// State returns the connection state.
+func (vi *VI) State() ViState { return vi.state }
+
+// RemoteAddr returns the connected peer's port address (valid once
+// connected).
+func (vi *VI) RemoteAddr() Addr { return Addr{Ep: vi.remoteEp} }
+
+// Port returns the owning port.
+func (vi *VI) Port() *Port { return vi.port }
+
+// Disc returns the discriminator the connection was established under.
+func (vi *VI) Disc() uint64 { return vi.disc }
+
+// SendQueueLen returns the number of posted, unreaped send descriptors.
+func (vi *VI) SendQueueLen() int { return len(vi.sendQ) }
+
+// RecvQueueLen returns the number of posted, unreaped receive descriptors.
+func (vi *VI) RecvQueueLen() int { return len(vi.recvQ) }
+
+// PostRecv posts a receive descriptor. VIA requires receives to be posted
+// before the matching message arrives; posting is legal in any pre-connected
+// or connected state.
+func (vi *VI) PostRecv(d *Descriptor) error {
+	switch vi.state {
+	case ViIdle, ViConnecting, ViConnected:
+	default:
+		return fmt.Errorf("%w: PostRecv in state %v", ErrBadState, vi.state)
+	}
+	d.vi = vi
+	d.Status = StatusPending
+	d.XferLen = 0
+	vi.port.ChargeHost(vi.port.net.cost.PostOverhead)
+	vi.recvQ = append(vi.recvQ, d)
+	return nil
+}
+
+// PostSend posts a send descriptor carrying d.Buf[:d.Len]. Per the VIA
+// semantics the paper leans on, a send posted to an unconnected VI is
+// *discarded*: it completes immediately with StatusNotConnected and no data
+// is ever transferred. This is why the on-demand design must queue
+// pre-connection sends above the VIA layer.
+func (vi *VI) PostSend(d *Descriptor) error {
+	d.vi = vi
+	d.rdma = false
+	vi.port.ChargeHost(vi.port.net.cost.PostOverhead)
+	if vi.state != ViConnected {
+		d.Status = StatusNotConnected
+		vi.port.net.DiscardedSends++
+		vi.sendQ = append(vi.sendQ, d)
+		return nil
+	}
+	d.Status = StatusPending
+	vi.sendQ = append(vi.sendQ, d)
+	vi.transmit(d, d.Buf[:d.Len], &wireMsg{
+		kind: kindData, dstVi: vi.remoteVi, seq: vi.seqOut,
+	})
+	vi.seqOut++
+	vi.usedTx = true
+	vi.port.stats.MsgsSent++
+	vi.port.stats.BytesSent += int64(d.Len)
+	return nil
+}
+
+// PostRdmaWrite posts a one-sided RDMA write of d.Buf[:d.Len] to the remote
+// target (d.RdmaKey, d.RdmaOffset). The remote side is not notified and no
+// remote receive descriptor is consumed.
+func (vi *VI) PostRdmaWrite(d *Descriptor) error {
+	if vi.state != ViConnected {
+		return fmt.Errorf("%w: PostRdmaWrite in state %v", ErrBadState, vi.state)
+	}
+	d.vi = vi
+	d.rdma = true
+	d.Status = StatusPending
+	vi.port.ChargeHost(vi.port.net.cost.PostOverhead)
+	vi.sendQ = append(vi.sendQ, d)
+	vi.transmit(d, d.Buf[:d.Len], &wireMsg{
+		kind: kindRdma, dstVi: vi.remoteVi, rdmaKey: d.RdmaKey, rdmaOff: d.RdmaOffset,
+	})
+	vi.port.stats.BytesSent += int64(d.Len)
+	return nil
+}
+
+// transmit fragments data into MTU-sized frames, pushes them through NIC
+// service and the fabric, and completes d when the NIC has accepted the last
+// fragment. proto carries the kind-specific header fields.
+func (vi *VI) transmit(d *Descriptor, data []byte, proto *wireMsg) {
+	net := vi.port.net
+	mtu := net.cost.MTU
+	total := len(data)
+	// Capture the payload at post time (hardware would DMA from the pinned
+	// buffer before completion; completing before delivery means the sender
+	// may reuse its buffer, so we must copy).
+	snapshot := make([]byte, total)
+	copy(snapshot, data)
+
+	var lastTx simnet.Time
+	off := 0
+	for {
+		end := off + mtu
+		if end > total {
+			end = total
+		}
+		m := &wireMsg{
+			kind: proto.kind, srcEp: vi.port.ep, srcVi: vi.id, dstVi: proto.dstVi,
+			seq: proto.seq, offset: off, total: total, data: snapshot[off:end],
+			rdmaKey: proto.rdmaKey, rdmaOff: proto.rdmaOff,
+		}
+		lastTx = net.sendFrame(vi.port, vi.remoteEp, m, end-off)
+		off = end
+		if off >= total {
+			break
+		}
+	}
+	net.sim.At(lastTx, func() {
+		if d.Status == StatusPending {
+			d.Status = StatusSuccess
+			d.XferLen = total
+			vi.port.notifyActivity()
+		}
+	})
+}
+
+// handleData processes an arriving data frame (scheduler context, after NIC
+// receive service).
+func (vi *VI) handleData(m *wireMsg) {
+	p := vi.port
+	if vi.state == ViConnecting {
+		// The peer completed its side of the handshake first and already
+		// transmitted; hold the frame until our transition fires.
+		vi.preConnQ = append(vi.preConnQ, m)
+		return
+	}
+	if vi.state != ViConnected {
+		// Data raced with teardown; reliable delivery would break the
+		// connection, which it already is. Drop.
+		return
+	}
+	if vi.rxCur == nil {
+		if m.seq != vi.seqIn {
+			p.net.sim.Failf("via: out-of-order message on vi %d@%d: seq %d want %d",
+				vi.id, p.ep, m.seq, vi.seqIn)
+			return
+		}
+		if m.offset != 0 {
+			p.net.sim.Failf("via: fragment before message start on vi %d@%d", vi.id, p.ep)
+			return
+		}
+		// Consume the oldest still-pending receive descriptor (completed
+		// ones may linger in the queue until the host reaps them).
+		var next *Descriptor
+		for _, d := range vi.recvQ {
+			if !d.Done() {
+				next = d
+				break
+			}
+		}
+		if next == nil {
+			// VIA reliable delivery: arriving data with no posted receive
+			// descriptor breaks the connection.
+			p.net.DroppedNoDescriptor++
+			vi.enterError()
+			return
+		}
+		if m.total > len(next.Buf) {
+			p.net.DroppedNoDescriptor++
+			vi.enterError()
+			return
+		}
+		vi.rxCur = next
+		vi.rxGot = 0
+	}
+	if m.offset != vi.rxGot {
+		p.net.sim.Failf("via: fragment gap on vi %d@%d: offset %d want %d",
+			vi.id, p.ep, m.offset, vi.rxGot)
+		return
+	}
+	copy(vi.rxCur.Buf[m.offset:], m.data)
+	vi.rxGot += len(m.data)
+	if vi.rxGot >= m.total {
+		d := vi.rxCur
+		vi.rxCur = nil
+		vi.rxGot = 0
+		vi.seqIn++
+		d.Status = StatusSuccess
+		d.XferLen = m.total
+		vi.usedRx = true
+		p.stats.MsgsRecv++
+		p.stats.BytesRecv += int64(m.total)
+		if vi.recvCQ != nil {
+			vi.recvCQ.push(vi, d)
+		}
+		p.notifyActivity()
+	}
+}
+
+// deliverHeld replays frames that arrived before the connection transition
+// completed, in arrival order. Called exactly once at establishment.
+func (vi *VI) deliverHeld() {
+	held := vi.preConnQ
+	vi.preConnQ = nil
+	for _, m := range held {
+		vi.handleData(m)
+	}
+}
+
+// enterError transitions the VI to the error state and fails all pending
+// descriptors, mirroring VIA's reliable-delivery teardown.
+func (vi *VI) enterError() {
+	vi.state = ViError
+	vi.failPending(StatusErrorState)
+	vi.port.notifyActivity()
+}
+
+// failPending completes every pending descriptor on both queues with status s.
+func (vi *VI) failPending(s Status) {
+	for _, d := range vi.sendQ {
+		if !d.Done() {
+			d.Status = s
+		}
+	}
+	for _, d := range vi.recvQ {
+		if !d.Done() {
+			d.Status = s
+		}
+	}
+	vi.rxCur = nil
+	vi.rxGot = 0
+}
+
+// SendDone polls the send queue: if the oldest posted send has completed it
+// is removed and returned, else nil (cf. VipSendDone).
+func (vi *VI) SendDone() *Descriptor {
+	vi.port.ChargeHost(vi.port.net.cost.PollOverhead)
+	if len(vi.sendQ) > 0 && vi.sendQ[0].Done() {
+		d := vi.sendQ[0]
+		vi.sendQ = vi.sendQ[1:]
+		return d
+	}
+	return nil
+}
+
+// RecvDone polls the receive queue (cf. VipRecvDone). VIs bound to a
+// completion queue must be reaped through the CQ instead.
+func (vi *VI) RecvDone() *Descriptor {
+	if vi.recvCQ != nil {
+		vi.port.net.sim.Failf("via: RecvDone on CQ-bound vi %d@%d", vi.id, vi.port.ep)
+		return nil
+	}
+	vi.port.ChargeHost(vi.port.net.cost.PollOverhead)
+	return vi.recvDone()
+}
+
+func (vi *VI) recvDone() *Descriptor {
+	if len(vi.recvQ) > 0 && vi.recvQ[0].Done() {
+		d := vi.recvQ[0]
+		vi.recvQ = vi.recvQ[1:]
+		return d
+	}
+	return nil
+}
+
+// SendWait blocks until a send descriptor completes and returns it
+// (cf. VipSendWait). A negative timeout waits forever.
+func (vi *VI) SendWait(mode WaitMode, timeout simnet.Duration) (*Descriptor, error) {
+	return vi.wait(mode, timeout, vi.SendDone)
+}
+
+// RecvWait blocks until a receive descriptor completes and returns it
+// (cf. VipRecvWait).
+func (vi *VI) RecvWait(mode WaitMode, timeout simnet.Duration) (*Descriptor, error) {
+	if vi.recvCQ != nil {
+		return nil, fmt.Errorf("%w: RecvWait on CQ-bound VI", ErrBadState)
+	}
+	return vi.wait(mode, timeout, func() *Descriptor {
+		vi.port.ChargeHost(vi.port.net.cost.PollOverhead)
+		return vi.recvDone()
+	})
+}
+
+func (vi *VI) wait(mode WaitMode, timeout simnet.Duration, poll func() *Descriptor) (*Descriptor, error) {
+	deadline := simnet.Time(-1)
+	if timeout >= 0 {
+		deadline = vi.port.owner.Now().Add(timeout)
+	}
+	for {
+		if d := poll(); d != nil {
+			return d, nil
+		}
+		if vi.state == ViError || vi.state == ViDisconnected || vi.state == ViClosed {
+			return nil, fmt.Errorf("%w: %v", ErrBadState, vi.state)
+		}
+		if deadline >= 0 {
+			left := deadline.Sub(vi.port.owner.Now())
+			if left <= 0 || !vi.port.WaitActivityTimeout(mode, left) {
+				return nil, ErrTimeout
+			}
+		} else {
+			vi.port.WaitActivity(mode)
+		}
+	}
+}
+
+// Close disconnects (notifying the peer) and destroys the VI, releasing its
+// NIC slot. Pending descriptors complete with StatusDisconnected.
+func (vi *VI) Close() {
+	if vi.state == ViClosed {
+		return
+	}
+	if vi.state == ViConnected {
+		vi.port.net.sendFrame(vi.port, vi.remoteEp, &wireMsg{
+			kind: kindDisc, srcEp: vi.port.ep, srcVi: vi.id, dstVi: vi.remoteVi,
+		}, 32)
+	}
+	vi.failPending(StatusDisconnected)
+	vi.state = ViClosed
+	vi.port.net.nodes[vi.port.node].openVIs--
+}
