@@ -1,0 +1,33 @@
+# Single entry point for CI and builders: `make check` is the tier-1 gate.
+GO ?= go
+
+.PHONY: check fmt vet build test race analyze figures
+
+check: fmt vet build test race analyze
+
+# gofmt -l prints offending files; any output is a failure.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# internal/tcpvia is the only package with real concurrency (goroutines,
+# sockets, locks) — the race detector has something to find only there.
+race:
+	$(GO) test -race ./internal/tcpvia/...
+
+# The invariant analyzers also run inside `go test` (the selfcheck); this
+# target is the direct, human-readable form.
+analyze:
+	$(GO) run ./cmd/viampi-vet -root .
+
+figures:
+	$(GO) run ./cmd/figures -all -quick

@@ -1,0 +1,105 @@
+// Command viampi-vet runs the invariant-enforcing analyzer suite
+// (internal/analysis) over the module and reports violations with
+// file:line positions.
+//
+// Usage:
+//
+//	viampi-vet [-root dir] [-rules layering,determinism,...] [-json]
+//	viampi-vet -explain <rule>
+//
+// Exit status is 0 when the tree is clean, 1 when violations were found,
+// 2 on usage or load errors. The same analyzers also run inside
+// `go test ./internal/analysis/...` (the selfcheck), so CI cannot drift
+// from what this command reports.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"viampi/internal/analysis"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root to analyze (directory containing go.mod)")
+	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	explain := flag.String("explain", "", "print why the named rule exists and exit")
+	list := flag.Bool("list", false, "list available rules and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *explain != "" {
+		a := analysis.ByName(*explain)
+		if a == nil {
+			fmt.Fprintf(os.Stderr, "viampi-vet: unknown rule %q (try -list)\n", *explain)
+			os.Exit(2)
+		}
+		fmt.Printf("%s — %s\n\n%s\n", a.Name, a.Doc, a.Explain)
+		return
+	}
+
+	mod, err := analysis.LoadModule(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "viampi-vet: %v\n", err)
+		os.Exit(2)
+	}
+	policy := analysis.DefaultPolicy()
+
+	selected := analysis.Analyzers()
+	if *rules != "" {
+		selected = nil
+		for _, name := range strings.Split(*rules, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "viampi-vet: unknown rule %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	var ds []analysis.Diagnostic
+	for _, a := range selected {
+		ds = append(ds, a.Run(mod, policy)...)
+	}
+	analysis.SortDiagnostics(ds)
+
+	if *jsonOut {
+		type jsonDiag struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Column  int    `json:"column"`
+			Rule    string `json:"rule"`
+			Message string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(ds))
+		for _, d := range ds {
+			out = append(out, jsonDiag{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "viampi-vet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range ds {
+			fmt.Println(d)
+		}
+		if len(ds) == 0 {
+			fmt.Printf("viampi-vet: %d packages clean\n", len(mod.Pkgs))
+		}
+	}
+	if len(ds) > 0 {
+		os.Exit(1)
+	}
+}

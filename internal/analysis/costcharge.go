@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// CostChargeAnalyzer verifies that via/core code invoking the fabric/simnet
+// entry points that model hardware doing work (frame transmission, endpoint
+// attach) charges host CPU cost in the same function, or is explicitly
+// excused in policy.go.
+func CostChargeAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "costcharge",
+		Doc:  "fabric entry points reached from via/core must charge CPU cost",
+		Explain: `docs/ARCHITECTURE.md, invariant 2 ("Costs are charged where the
+hardware pays them"): host CPU costs are charged to the calling process,
+NIC service runs on per-node busy-until timelines, wire time lives in the
+fabric. The fabric entry points in policy.ChargeRequired (Cluster.Send,
+SendMgmt, Attach, AttachNode) model a NIC or switch doing real work; if a
+via/core function reaches one of them without also charging a cost
+(Port.ChargeHost, Network.serviceTx/serviceRx, Proc.Compute/Sleep — the
+policy.ChargeFuncs set), that work becomes free in virtual time and every
+latency figure built on top quietly understates the device. Exceptions —
+the out-of-band bootstrap network, boot-time attach — are declared with
+justifications in policy.ChargeExempt.`,
+		Run: runCostCharge,
+	}
+}
+
+// costChargeScope is the set of packages whose calls into fabric/simnet are
+// audited (module-relative paths).
+var costChargeScope = map[string]bool{
+	"internal/via":  true,
+	"internal/core": true,
+}
+
+func runCostCharge(m *Module, p *Policy) []Diagnostic {
+	var ds []Diagnostic
+	for _, pkg := range m.Pkgs {
+		if !costChargeScope[pkg.Rel] || pkg.Info == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ds = append(ds, checkCostCharge(m, p, pkg, file, fd)...)
+			}
+		}
+	}
+	return ds
+}
+
+func checkCostCharge(m *Module, p *Policy, pkg *Package, file *ast.File, fd *ast.FuncDecl) []Diagnostic {
+	qual := enclosingFuncName(pkg, file, fd.Name.Pos())
+	if _, exempt := p.ChargeExempt[qual]; exempt {
+		return nil
+	}
+
+	var required []*ast.CallExpr // calls that demand a charge
+	charges := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObject(pkg.Info, call)
+		if obj == nil {
+			return true
+		}
+		name := relQualified(m.Path, objectQualifiedName(obj))
+		if p.ChargeRequired[name] {
+			required = append(required, call)
+		}
+		if p.ChargeFuncs[name] {
+			charges = true
+		}
+		return true
+	})
+	if charges || len(required) == 0 {
+		return nil
+	}
+	var ds []Diagnostic
+	for _, call := range required {
+		obj := calleeObject(pkg.Info, call)
+		ds = append(ds, Diagnostic{
+			Pos:  m.Position(call.Pos()),
+			Rule: "costcharge",
+			Message: fmt.Sprintf("%s calls %s without charging host CPU cost; add a ChargeHost/Compute (or book NIC service), or declare the exemption in policy.go",
+				qual, relQualified(m.Path, objectQualifiedName(obj))),
+		})
+	}
+	return ds
+}

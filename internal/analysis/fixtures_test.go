@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads the fixture module under testdata/src/fixmod.
+func loadFixture(t *testing.T) *Module {
+	t.Helper()
+	m, err := LoadModule(filepath.Join("testdata", "src", "fixmod"))
+	if err != nil {
+		t.Fatalf("loading fixture module: %v", err)
+	}
+	return m
+}
+
+// TestFixtureDiagnostics runs every analyzer over the fixture module and
+// asserts the exact diagnostic set: each rule fires on its bad case at the
+// right file:line, and none fires on the good cases.
+func TestFixtureDiagnostics(t *testing.T) {
+	m := loadFixture(t)
+	ds := RunAll(m, FixturePolicy())
+
+	var got []string
+	for _, d := range ds {
+		rel, err := filepath.Rel(m.Root, d.Pos.Filename)
+		if err != nil {
+			t.Fatalf("diagnostic outside fixture root: %v", d)
+		}
+		got = append(got, fmt.Sprintf("%s:%d: %s", filepath.ToSlash(rel), d.Pos.Line, d.Rule))
+	}
+	want := []string{
+		"internal/core/determ.go:7: determinism",  // sync import
+		"internal/core/determ.go:15: determinism", // time.Now
+		"internal/core/determ.go:20: determinism", // naked goroutine
+		"internal/core/determ.go:25: determinism", // global rand.Intn
+		"internal/mpi/maporder.go:9: maporder",    // append of values in map order
+		"internal/mpi/maporder.go:18: maporder",   // keys collected, never sorted
+		"internal/mpi/maporder.go:51: maporder",   // per-entry call
+		"internal/via/via.go:6: layering",         // via imports mpi (upward)
+		"internal/via/via.go:22: costcharge",      // Cluster.Send with no charge
+	}
+	if len(got) != len(want) {
+		t.Fatalf("diagnostic count: got %d, want %d\ngot:\n  %s", len(got), len(want), strings.Join(got, "\n  "))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d:\n  got  %s\n  want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFixtureMessagesCiteTheFix spot-checks that diagnostics tell the
+// builder what to do, not just what is wrong.
+func TestFixtureMessagesCiteTheFix(t *testing.T) {
+	m := loadFixture(t)
+	ds := RunAll(m, FixturePolicy())
+	wantSubstrings := map[string]string{
+		"determinism": "pure function of its Config",
+		"maporder":    "sort the",
+		"layering":    "DAG flows",
+		"costcharge":  "ChargeHost",
+	}
+	seen := map[string]bool{}
+	for _, d := range ds {
+		if sub, ok := wantSubstrings[d.Rule]; ok && strings.Contains(d.Message, sub) {
+			seen[d.Rule] = true
+		}
+	}
+	for rule := range wantSubstrings {
+		if !seen[rule] {
+			t.Errorf("no %s diagnostic mentions %q", rule, wantSubstrings[rule])
+		}
+	}
+}
+
+// TestExplainTextsCiteArchitecture verifies every analyzer explains itself
+// against the invariant it guards (the -explain mode contract).
+func TestExplainTextsCiteArchitecture(t *testing.T) {
+	for _, a := range Analyzers() {
+		if a.Explain == "" {
+			t.Errorf("%s: empty Explain text", a.Name)
+		}
+		if !strings.Contains(a.Explain, "ARCHITECTURE.md") {
+			t.Errorf("%s: Explain does not cite the ARCHITECTURE.md invariant it guards", a.Name)
+		}
+	}
+	if ByName("layering") == nil || ByName("nope") != nil {
+		t.Error("ByName lookup broken")
+	}
+}

@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded package of the module under analysis: parsed files,
+// the import list, and (when type checking succeeded) full type information.
+type Package struct {
+	Path      string      // import path ("viampi/internal/mpi")
+	Rel       string      // module-relative path ("internal/mpi")
+	Dir       string      // absolute directory
+	Name      string      // package name
+	Files     []*ast.File // non-test files
+	TestFiles []*ast.File // *_test.go files (AST only, never type-checked)
+	Imports   []string    // direct imports of the non-test files, sorted
+
+	Types    *types.Package // nil if type checking failed outright
+	Info     *types.Info
+	TypeErrs []error // collected type errors (analysis continues past them)
+}
+
+// Module is a parsed-and-type-checked view of one Go module, loaded with
+// nothing but the standard library (go/parser + go/types with a source
+// importer), so the analyzers add no dependencies to the tree they guard.
+type Module struct {
+	Path string // module path from go.mod
+	Root string // absolute root directory
+	Fset *token.FileSet
+	Pkgs []*Package // sorted by import path
+
+	byPath map[string]*Package
+}
+
+// Lookup returns the package with the given import path, or nil.
+func (m *Module) Lookup(path string) *Package { return m.byPath[path] }
+
+// Position resolves a token.Pos against the module's file set.
+func (m *Module) Position(pos token.Pos) token.Position { return m.Fset.Position(pos) }
+
+// skipDirs are directory names never descended into during the module walk.
+var skipDirs = map[string]bool{
+	"testdata": true, ".git": true, "vendor": true, "out": true,
+}
+
+// LoadModule parses every package under root and type-checks them in
+// dependency order. Intra-module imports resolve against the loaded set;
+// standard-library imports are type-checked from source ($GOROOT/src), so
+// loading works in a hermetic build with no compiled package archives.
+func LoadModule(root string) (*Module, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Path:   modPath,
+		Root:   abs,
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*Package),
+	}
+	if err := m.parseTree(); err != nil {
+		return nil, err
+	}
+	if err := m.typeCheck(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module declaration in %s", gomod)
+}
+
+// parseTree walks the module directory and parses every package it finds.
+func (m *Module) parseTree() error {
+	var dirs []string
+	err := filepath.WalkDir(m.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != m.Root && (skipDirs[d.Name()] || strings.HasPrefix(d.Name(), ".") || strings.HasPrefix(d.Name(), "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sort.Strings(dirs)
+
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		var goFiles []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				goFiles = append(goFiles, e.Name())
+			}
+		}
+		if len(goFiles) == 0 {
+			continue
+		}
+		rel, err := filepath.Rel(m.Root, dir)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		pkg := &Package{Dir: dir}
+		if rel == "." {
+			pkg.Rel, pkg.Path = "", m.Path
+		} else {
+			pkg.Rel, pkg.Path = rel, m.Path+"/"+rel
+		}
+		importSet := map[string]bool{}
+		for _, name := range goFiles {
+			file, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return fmt.Errorf("analysis: parsing %s: %w", filepath.Join(dir, name), err)
+			}
+			if strings.HasSuffix(name, "_test.go") {
+				pkg.TestFiles = append(pkg.TestFiles, file)
+				continue
+			}
+			pkg.Files = append(pkg.Files, file)
+			pkg.Name = file.Name.Name
+			for _, imp := range file.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err == nil {
+					importSet[p] = true
+				}
+			}
+		}
+		if len(pkg.Files) == 0 && len(pkg.TestFiles) == 0 {
+			continue
+		}
+		for p := range importSet {
+			pkg.Imports = append(pkg.Imports, p)
+		}
+		sort.Strings(pkg.Imports)
+		m.Pkgs = append(m.Pkgs, pkg)
+		m.byPath[pkg.Path] = pkg
+	}
+	return nil
+}
+
+// typeCheck checks packages in topological import order. Intra-module
+// imports must already be checked (the module layering is a DAG; a cycle is
+// reported as an error); everything else goes to the source importer.
+func (m *Module) typeCheck() error {
+	std := importer.ForCompiler(m.Fset, "source", nil)
+	order, err := m.topoOrder()
+	if err != nil {
+		return err
+	}
+	for _, pkg := range order {
+		if len(pkg.Files) == 0 {
+			continue // test-only directory; nothing to check
+		}
+		pkg.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		pkg := pkg
+		conf := types.Config{
+			Error: func(err error) { pkg.TypeErrs = append(pkg.TypeErrs, err) },
+			Importer: importerFunc(func(path string) (*types.Package, error) {
+				if dep := m.byPath[path]; dep != nil {
+					if dep.Types == nil {
+						return nil, fmt.Errorf("analysis: import %q not yet checked (cycle?)", path)
+					}
+					return dep.Types, nil
+				}
+				return std.Import(path)
+			}),
+		}
+		tpkg, _ := conf.Check(pkg.Path, m.Fset, pkg.Files, pkg.Info)
+		pkg.Types = tpkg
+	}
+	return nil
+}
+
+// topoOrder sorts packages so every intra-module import precedes its
+// importer.
+func (m *Module) topoOrder() ([]*Package, error) {
+	const (
+		white = iota // unvisited
+		grey         // on stack
+		black        // done
+	)
+	state := make(map[string]int)
+	var order []*Package
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p.Path] {
+		case grey:
+			return fmt.Errorf("analysis: import cycle through %s", p.Path)
+		case black:
+			return nil
+		}
+		state[p.Path] = grey
+		for _, imp := range p.Imports {
+			if dep := m.byPath[imp]; dep != nil {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.Path] = black
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range m.Pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// importerFunc adapts a function to the types.Importer interface.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The repository module is loaded once per test process: type-checking the
+// standard library from source is the dominant cost and every selfcheck
+// test wants the same view.
+var (
+	repoOnce sync.Once
+	repoMod  *Module
+	repoErr  error
+)
+
+func loadRepo(t *testing.T) *Module {
+	t.Helper()
+	repoOnce.Do(func() {
+		repoMod, repoErr = LoadModule(filepath.Join("..", ".."))
+	})
+	if repoErr != nil {
+		t.Fatalf("loading repository module: %v", repoErr)
+	}
+	return repoMod
+}
+
+// TestSelfCheck is the tier-1 guard: every analyzer runs against this
+// repository and must report nothing. A new upward import, wall-clock
+// read, naked goroutine, unsorted order-sensitive map walk, or uncharged
+// fabric call anywhere in the tree fails `go test ./...` with a file:line
+// diagnostic.
+func TestSelfCheck(t *testing.T) {
+	m := loadRepo(t)
+	ds := RunAll(m, DefaultPolicy())
+	for _, d := range ds {
+		t.Errorf("%v", d)
+	}
+	if len(ds) > 0 {
+		t.Logf("fix the code, or — for a reviewed exception — declare it in internal/analysis/policy.go")
+	}
+}
+
+// TestSelfCheckSeesTheWholeModule guards against the loader silently
+// skipping the tree: the packages the layering contract names must all be
+// present and type-checked.
+func TestSelfCheckSeesTheWholeModule(t *testing.T) {
+	m := loadRepo(t)
+	for _, rel := range []string{
+		"internal/simnet", "internal/fabric", "internal/via", "internal/core",
+		"internal/mpi", "internal/apps", "internal/npb", "internal/bench",
+		"internal/trace", "internal/tcpvia", "internal/analysis",
+	} {
+		pkg := m.Lookup(m.Path + "/" + rel)
+		if pkg == nil {
+			t.Fatalf("package %s not loaded", rel)
+		}
+		if pkg.Types == nil {
+			t.Errorf("package %s not type-checked", rel)
+		}
+		for _, err := range pkg.TypeErrs {
+			t.Errorf("package %s: type error: %v", rel, err)
+		}
+	}
+	// The maporder rule is only as good as its reach: the repository has
+	// map iterations (e.g. internal/mpi's profile aggregation) and the
+	// analyzer must be classifying them, not skipping them.
+	mpiPkg := m.Lookup(m.Path + "/internal/mpi")
+	count := 0
+	for _, f := range mpiPkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if rs, ok := n.(*ast.RangeStmt); ok && isMapRange(mpiPkg.Info, rs) {
+				count++
+			}
+			return true
+		})
+	}
+	if count == 0 {
+		t.Error("no map ranges found in internal/mpi; the maporder analyzer is not seeing the code it must audit")
+	}
+}
+
+// TestSeededViolationIsCaught is the acceptance check for the suite: a
+// deliberate wall-clock read and naked goroutine planted (in memory) in
+// internal/core must produce file:line determinism diagnostics. The tree
+// on disk is never touched.
+func TestSeededViolationIsCaught(t *testing.T) {
+	m := loadRepo(t)
+	const src = `package core
+
+import "time"
+
+func zzSeededViolation() int64 {
+	go func() {}()
+	return time.Now().UnixNano()
+}
+`
+	name := filepath.Join(m.Root, "internal", "core", "zz_seeded_violation.go")
+	file, err := parser.ParseFile(m.Fset, name, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded := &Package{
+		Path:  m.Path + "/internal/core__seeded",
+		Rel:   "internal/core",
+		Dir:   filepath.Join(m.Root, "internal", "core"),
+		Name:  "core",
+		Files: []*ast.File{file},
+		Info: &types.Info{
+			Types: make(map[ast.Expr]types.TypeAndValue),
+			Defs:  make(map[*ast.Ident]types.Object),
+			Uses:  make(map[*ast.Ident]types.Object),
+		},
+	}
+	std := importer.ForCompiler(m.Fset, "source", nil)
+	conf := types.Config{Importer: importerFunc(func(path string) (*types.Package, error) {
+		if dep := m.Lookup(path); dep != nil {
+			return dep.Types, nil
+		}
+		return std.Import(path)
+	})}
+	if seeded.Types, err = conf.Check(seeded.Path, m.Fset, seeded.Files, seeded.Info); err != nil {
+		t.Fatalf("type-checking seeded file: %v", err)
+	}
+
+	withSeeded := &Module{Path: m.Path, Root: m.Root, Fset: m.Fset,
+		Pkgs:   append(append([]*Package{}, m.Pkgs...), seeded),
+		byPath: map[string]*Package{seeded.Path: seeded},
+	}
+	ds := DeterminismAnalyzer().Run(withSeeded, DefaultPolicy())
+
+	var wallClock, goroutine bool
+	for _, d := range ds {
+		if !strings.HasSuffix(d.Pos.Filename, "zz_seeded_violation.go") {
+			t.Errorf("unexpected diagnostic outside the seeded file: %v", d)
+			continue
+		}
+		if d.Pos.Line == 7 && strings.Contains(d.Message, "time.Now") {
+			wallClock = true
+		}
+		if d.Pos.Line == 6 && strings.Contains(d.Message, "go statement") {
+			goroutine = true
+		}
+	}
+	if !wallClock || !goroutine {
+		t.Fatalf("seeded violations not all caught (wallClock=%v goroutine=%v): %v", wallClock, goroutine, ds)
+	}
+}

@@ -1,0 +1,35 @@
+// Package core is the fixture home of the determinism rule cases: a
+// simulation-path package touching every banned construct.
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex // the sync import itself is the violation
+
+// WallClock reads the host clock — must flag.
+func WallClock() int64 {
+	return time.Now().UnixNano()
+}
+
+// NakedGoroutine spawns outside the scheduler — must flag.
+func NakedGoroutine() {
+	go func() {}()
+}
+
+// GlobalRand draws from the process-global source — must flag.
+func GlobalRand() int {
+	return rand.Intn(10)
+}
+
+// SeededRand threads a generator from a seed — must NOT flag.
+func SeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// VirtualDuration uses time only as a unit type — must NOT flag.
+func VirtualDuration(d time.Duration) int64 { return d.Nanoseconds() }

@@ -1,0 +1,54 @@
+// Package mpi is the fixture home of the maporder rule cases.
+package mpi
+
+import "sort"
+
+// BadAppend ranges a map and appends values — ordered output, must flag.
+func BadAppend(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // maporder violation: values in map order
+	}
+	return out
+}
+
+// BadCollectNoSort collects keys but never sorts them — must flag.
+func BadCollectNoSort(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// GoodSortedKeys is the blessed idiom — must NOT flag.
+func GoodSortedKeys(m map[int]string) []string {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// GoodAccumulate is a commutative reduction — must NOT flag.
+func GoodAccumulate(m map[int]int64) int64 {
+	var total int64
+	for _, n := range m {
+		if n > 0 {
+			total += n
+		}
+	}
+	return total
+}
+
+// BadCall invokes another function per entry — ordering leaks, must flag.
+func BadCall(m map[int]int, sink func(int)) {
+	for k := range m {
+		sink(k)
+	}
+}
