@@ -1,9 +1,9 @@
 # Single entry point for CI and builders: `make check` is the tier-1 gate.
 GO ?= go
 
-.PHONY: check fmt vet build test race analyze figures
+.PHONY: check fmt vet build test race analyze figures bench-snapshot bench-smoke
 
-check: fmt vet build test race analyze
+check: fmt vet build test race analyze bench-smoke
 
 # gofmt -l prints offending files; any output is a failure.
 fmt:
@@ -31,3 +31,13 @@ analyze:
 
 figures:
 	$(GO) run ./cmd/figures -all -quick
+
+# Full microbenchmark snapshot; the output is deterministic for a fixed
+# seed, so regenerate and commit BENCH_micro.json when perf-relevant code
+# changes, and the diff is the review artifact.
+bench-snapshot:
+	$(GO) run ./cmd/benchsnap -out BENCH_micro.json
+
+# Tiny subset proving the snapshot path works; part of `make check`.
+bench-smoke:
+	$(GO) run ./cmd/benchsnap -smoke > /dev/null

@@ -1,0 +1,114 @@
+// Command benchsnap captures a microbenchmark snapshot of the simulated
+// stack as JSON: ping-pong latency across the eager/rendezvous switch,
+// streaming bandwidth, and MPI_Init time for the paper's mechanisms. The
+// simulation is a pure function of its Config, so for a fixed seed the
+// snapshot is byte-stable — the committed BENCH_micro.json is a regression
+// anchor, and `-smoke` is the fast subset `make check` runs.
+//
+// Usage:
+//
+//	benchsnap -out BENCH_micro.json   # full snapshot (committed)
+//	benchsnap -smoke                  # tiny subset to stdout, seconds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"viampi/internal/bench"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "", "output file (default stdout)")
+		smoke = flag.Bool("smoke", false, "tiny subset (smoke test for make check)")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	sizes := []int{8, 1024, 4096, 16384}
+	ppIters, bwIters := 50, 100
+	if *smoke {
+		sizes = []int{8, 16384}
+		ppIters, bwIters = 4, 8
+	}
+	mechs := []bench.Mechanism{bench.StaticPolling, bench.OnDemand}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+
+	fail := func(section string, err error) {
+		fmt.Fprintf(os.Stderr, "benchsnap: %s: %v\n", section, err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(w, "{\n  \"device\": \"clan\",\n  \"seed\": %d,\n  \"smoke\": %v,\n", *seed, *smoke)
+
+	fmt.Fprint(w, "  \"pingpong_one_way_ns\": [\n")
+	first := true
+	for _, mech := range mechs {
+		for _, size := range sizes {
+			lat, err := bench.Pingpong("clan", mech, size, ppIters, 0, *seed)
+			if err != nil {
+				fail("pingpong", err)
+			}
+			if !first {
+				fmt.Fprint(w, ",\n")
+			}
+			first = false
+			fmt.Fprintf(w, "    {\"mech\": %q, \"bytes\": %d, \"ns\": %d}", mech.Name, size, int64(lat))
+		}
+	}
+	fmt.Fprint(w, "\n  ],\n")
+
+	fmt.Fprint(w, "  \"bandwidth_mbps\": [\n")
+	first = true
+	for _, mech := range mechs {
+		mbps, err := bench.Bandwidth("clan", mech, 16384, bwIters, *seed)
+		if err != nil {
+			fail("bandwidth", err)
+		}
+		if !first {
+			fmt.Fprint(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "    {\"mech\": %q, \"bytes\": 16384, \"mbps\": %.3f}", mech.Name, mbps)
+	}
+	fmt.Fprint(w, "\n  ],\n")
+
+	procs := []int{8, 16}
+	if *smoke {
+		procs = []int{4}
+	}
+	fmt.Fprint(w, "  \"init_avg_ns\": [\n")
+	first = true
+	for _, mech := range mechs {
+		for _, np := range procs {
+			d, err := bench.InitTime("clan", mech, np, *seed)
+			if err != nil {
+				fail("init", err)
+			}
+			if !first {
+				fmt.Fprint(w, ",\n")
+			}
+			first = false
+			fmt.Fprintf(w, "    {\"mech\": %q, \"np\": %d, \"ns\": %d}", mech.Name, np, int64(d))
+		}
+	}
+	fmt.Fprint(w, "\n  ]\n}\n")
+}

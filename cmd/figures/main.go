@@ -18,6 +18,8 @@ import (
 	"strings"
 
 	"viampi/internal/bench"
+	"viampi/internal/mpi"
+	"viampi/internal/obs"
 )
 
 func main() {
@@ -30,8 +32,22 @@ func main() {
 		svg    = flag.String("svg", "", "directory to write per-experiment SVG charts")
 		report = flag.String("report", "", "file to write a combined markdown report")
 		seed   = flag.Int64("seed", 1, "simulation seed")
+		traced = flag.String("trace", "", "write a Perfetto trace of every measurement run to `file`")
 	)
 	flag.Parse()
+
+	var flight *obs.Recorder
+	if *traced != "" {
+		// One flight recorder spans all runs; each measurement run becomes
+		// its own process group in the exported trace.
+		flight = obs.NewRecorder()
+		bench.Instrument = func(cfg *mpi.Config) {
+			bus := obs.NewBus()
+			flight.NextRun(fmt.Sprintf("%s/%s/np%d", cfg.Device, cfg.Policy, cfg.Procs))
+			flight.Attach(bus)
+			cfg.Obs = bus
+		}
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
@@ -123,5 +139,21 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	if flight != nil {
+		f, err := os.Create(*traced)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := flight.WritePerfetto(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d events to %s\n", flight.Len(), *traced)
 	}
 }

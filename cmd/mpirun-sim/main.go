@@ -15,6 +15,7 @@ import (
 
 	"viampi/internal/mpi"
 	"viampi/internal/npb"
+	"viampi/internal/obs"
 	"viampi/internal/simnet"
 	"viampi/internal/trace"
 	"viampi/internal/via"
@@ -29,6 +30,9 @@ func main() {
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		matrix  = flag.Bool("matrix", false, "print the communication matrix after the run")
 		profile = flag.Bool("profile", false, "print per-MPI-call time accounting after the run")
+		traceTo = flag.String("trace", "", "write a Perfetto/Chrome trace-event JSON `file`")
+		metrics = flag.Bool("metrics", false, "print the metrics registry after the run")
+		phases  = flag.Bool("phases", false, "print the per-rank phase decomposition after the run")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -64,6 +68,20 @@ func main() {
 		cfg.Trace = rec
 	}
 	cfg.Profile = *profile
+
+	var flight *obs.Recorder
+	var reg *obs.Registry
+	if *traceTo != "" || *metrics || *phases {
+		cfg.Obs = obs.NewBus()
+	}
+	if *traceTo != "" {
+		flight = obs.NewRecorder()
+		flight.Attach(cfg.Obs)
+	}
+	if *metrics {
+		reg = obs.NewRegistry()
+		obs.NewCollector(reg).Attach(cfg.Obs)
+	}
 	res, w, err := npb.Run(kern, class, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -84,5 +102,29 @@ func main() {
 	if *profile {
 		fmt.Println()
 		w.WriteProfile(os.Stdout)
+	}
+	if *metrics {
+		fmt.Println()
+		reg.WriteText(os.Stdout)
+	}
+	if *phases {
+		fmt.Println()
+		w.WritePhases(os.Stdout)
+	}
+	if flight != nil {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := flight.WritePerfetto(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d events to %s (open in ui.perfetto.dev)\n", flight.Len(), *traceTo)
 	}
 }

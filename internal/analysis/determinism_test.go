@@ -10,6 +10,7 @@ package analysis
 // resource statistics.
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -18,6 +19,7 @@ import (
 
 	"viampi/internal/apps"
 	"viampi/internal/mpi"
+	"viampi/internal/obs"
 	"viampi/internal/simnet"
 	"viampi/internal/trace"
 )
@@ -75,6 +77,53 @@ func TestDualRunDeterminism(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// obsDigest runs the CG replay with the full observability stack attached
+// (flight recorder + metrics collector on one bus) and hashes the rendered
+// artifacts — the Perfetto trace JSON and the metrics JSON must themselves
+// be byte-identical across same-Config runs, not merely the raw events.
+func obsDigest(t *testing.T, cfg mpi.Config, rounds, msgBytes int) string {
+	t.Helper()
+	bus := obs.NewBus()
+	rec := obs.NewRecorder()
+	rec.Attach(bus)
+	reg := obs.NewRegistry()
+	obs.NewCollector(reg).Attach(bus)
+	cfg.Obs = bus
+	cfg.Deadline = 30 * simnet.Second
+	if _, err := apps.Replay(apps.CG(), cfg, rounds, msgBytes); err != nil {
+		t.Fatalf("replay (%s, %d procs): %v", cfg.Policy, cfg.Procs, err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("observability run recorded no events; the digest would be vacuous")
+	}
+	var tr, mt bytes.Buffer
+	if err := rec.WritePerfetto(&tr); err != nil {
+		t.Fatal(err)
+	}
+	reg.WriteJSON(&mt)
+	h := sha256.New()
+	h.Write(tr.Bytes())
+	h.Write(mt.Bytes())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestObsDualRunDeterminism asserts the exported observability artifacts
+// are byte-stable: two runs with identical Configs must render identical
+// Perfetto traces and metrics dumps.
+func TestObsDualRunDeterminism(t *testing.T) {
+	const rounds, msgBytes = 2, 1024
+	for _, policy := range []string{"static-p2p", "ondemand"} {
+		t.Run(policy, func(t *testing.T) {
+			cfg := mpi.Config{Procs: 8, Policy: policy, Seed: 42}
+			first := obsDigest(t, cfg, rounds, msgBytes)
+			second := obsDigest(t, cfg, rounds, msgBytes)
+			if first != second {
+				t.Fatalf("observability artifacts diverged across identical runs:\n  run 1: %s\n  run 2: %s", first, second)
+			}
+		})
 	}
 }
 

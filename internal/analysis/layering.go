@@ -18,8 +18,9 @@ func LayeringAnalyzer() *Analyzer {
 		Explain: `docs/ARCHITECTURE.md, "Layering contract": examples/cmd call the
 workloads (bench, npb, apps), which sit on mpi, which plugs in core, which
 drives via, which emits frames into fabric, which schedules on simnet. Each
-package only imports downward. internal/trace is a passive recorder any
-layer may feed but it imports only the standard library; internal/tcpvia is
+package only imports downward. internal/obs and internal/trace are passive
+observers any layer may feed, but they import nothing from the module except
+each other (trace subscribes to the obs bus); internal/tcpvia is
 the real-socket twin of internal/via and is reachable only from drivers.
 An upward (or sideways) import collapses the layering that makes the
 simulation analyzable — e.g. via reaching into mpi would let device models
@@ -90,9 +91,15 @@ func checkImportEdge(p *Policy, pkg *Package, fromLayer int, toRel string, pos t
 	diag := func(format string, args ...interface{}) (Diagnostic, bool) {
 		return Diagnostic{Pos: pos, Rule: "layering", Message: fmt.Sprintf(format, args...)}, true
 	}
-	// Leaf packages import nothing from the module at all.
+	// Leaf packages import nothing from the module, except that a leaf may
+	// import a *shared* leaf (trace subscribes to the obs bus): shared
+	// leaves are passive by construction, so the edge cannot reach back
+	// into the simulation.
 	if p.SharedLeaves[pkg.Rel] || p.RestrictedLeaves[pkg.Rel] {
-		return diag("package %s must import only the standard library, not %s", pkg.Rel, toRel)
+		if p.SharedLeaves[toRel] && toRel != pkg.Rel {
+			return Diagnostic{}, false
+		}
+		return diag("package %s must import only the standard library or a shared leaf, not %s", pkg.Rel, toRel)
 	}
 	// Shared leaves (trace) are importable from anywhere.
 	if p.SharedLeaves[toRel] {

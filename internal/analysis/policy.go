@@ -17,7 +17,8 @@ type Policy struct {
 	// import anything.
 	TopLayer int
 	// SharedLeaves are importable from every layer but may themselves
-	// import no module package at all (internal/trace).
+	// import only the standard library and other shared leaves
+	// (internal/obs; internal/trace, which consumes obs events).
 	SharedLeaves map[string]bool
 	// RestrictedLeaves are importable only from the top layer and may
 	// import no module package (internal/tcpvia: the real-socket twin;
@@ -77,6 +78,12 @@ func DefaultPolicy() *Policy {
 		},
 		TopLayer: 9,
 		SharedLeaves: map[string]bool{
+			// Passive observers: every simulation layer may stamp events on
+			// the obs bus or feed the trace recorder, and neither may reach
+			// back into the simulation (obs imports nothing; trace imports
+			// obs to subscribe). Keeping them leaves guarantees
+			// instrumentation can never alter what it observes.
+			"internal/obs":   true,
 			"internal/trace": true,
 		},
 		RestrictedLeaves: map[string]bool{

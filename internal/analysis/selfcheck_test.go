@@ -55,7 +55,7 @@ func TestSelfCheckSeesTheWholeModule(t *testing.T) {
 	for _, rel := range []string{
 		"internal/simnet", "internal/fabric", "internal/via", "internal/core",
 		"internal/mpi", "internal/apps", "internal/npb", "internal/bench",
-		"internal/trace", "internal/tcpvia", "internal/analysis",
+		"internal/trace", "internal/obs", "internal/tcpvia", "internal/analysis",
 	} {
 		pkg := m.Lookup(m.Path + "/" + rel)
 		if pkg == nil {

@@ -24,9 +24,15 @@ var (
 	OnDemand       = Mechanism{Name: "on-demand", Policy: "ondemand", Wait: via.WaitPoll}
 )
 
+// Instrument, when set, is applied to every measurement Config before it
+// runs — the seam drivers use to attach observability (e.g. cmd/figures
+// -trace hands each run an obs bus and flight recorder) without threading
+// a parameter through every benchmark signature.
+var Instrument func(*mpi.Config)
+
 // baseConfig builds an mpi.Config for a measurement run.
 func baseConfig(device string, mech Mechanism, procs int, seed int64) mpi.Config {
-	return mpi.Config{
+	cfg := mpi.Config{
 		Procs:    procs,
 		Device:   device,
 		Policy:   mech.Policy,
@@ -35,6 +41,10 @@ func baseConfig(device string, mech Mechanism, procs int, seed int64) mpi.Config
 		Deadline: 4 * 3600 * simnet.Second,
 		TuneCost: mech.Tune,
 	}
+	if Instrument != nil {
+		Instrument(&cfg)
+	}
+	return cfg
 }
 
 // Pingpong measures one-way latency for size-byte messages between two

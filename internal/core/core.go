@@ -31,6 +31,7 @@ package core
 import (
 	"fmt"
 
+	"viampi/internal/obs"
 	"viampi/internal/simnet"
 	"viampi/internal/via"
 )
@@ -60,7 +61,24 @@ type Channel struct {
 }
 
 // Park appends a pre-posted send to the channel's FIFO (paper §3.4).
-func (c *Channel) Park(item interface{}) { c.fifo = append(c.fifo, item) }
+func (c *Channel) Park(item interface{}) {
+	c.fifo = append(c.fifo, item)
+	if c.Vi != nil {
+		p := c.Vi.Port()
+		p.Obs().Emit(obs.Event{T: p.NowNs(), Kind: obs.EvFifoPark,
+			Rank: int32(p.Addr().Ep), Peer: int32(c.Rank), A: int64(len(c.fifo))})
+	}
+}
+
+// obsDrain reports a non-empty FIFO drain on the bus.
+func (c *Channel) obsDrain(n int) {
+	if c.Vi == nil {
+		return
+	}
+	p := c.Vi.Port()
+	p.Obs().Emit(obs.Event{T: p.NowNs(), Kind: obs.EvFifoDrain,
+		Rank: int32(p.Addr().Ep), Peer: int32(c.Rank), A: int64(n)})
+}
 
 // Parked returns the number of parked sends.
 func (c *Channel) Parked() int { return len(c.fifo) }
@@ -69,6 +87,9 @@ func (c *Channel) Parked() int { return len(c.fifo) }
 func (c *Channel) DrainParked() []interface{} {
 	f := c.fifo
 	c.fifo = nil
+	if len(f) > 0 {
+		c.obsDrain(len(f))
+	}
 	return f
 }
 

@@ -18,6 +18,7 @@ package fabric
 import (
 	"fmt"
 
+	"viampi/internal/obs"
 	"viampi/internal/simnet"
 )
 
@@ -172,6 +173,14 @@ func (c *Cluster) Send(f Frame, extra simnet.Duration) {
 	src, dst := c.eps[f.Src], c.eps[f.Dst]
 	c.sim.After(extra, func() {
 		now := c.sim.Now()
+		// Egress serialization wait: how long the frame queued behind
+		// earlier traffic before its node's transmit port was free.
+		wait := c.tx[src.node].freeAt.Sub(now)
+		if wait < 0 {
+			wait = 0
+		}
+		c.sim.Obs().Emit(obs.Event{T: int64(now), Kind: obs.EvFrameEnqueue,
+			Rank: int32(f.Src), Peer: int32(f.Dst), A: int64(f.Size), B: int64(wait)})
 		txDone := c.tx[src.node].reserve(now, f.Size, c.cfg.BandwidthBps)
 		var arriveAt simnet.Time
 		if src.node == dst.node {
@@ -188,6 +197,8 @@ func (c *Cluster) Send(f Frame, extra simnet.Duration) {
 		}
 		c.sim.At(deliverAt, func() {
 			c.FramesDelivered++
+			c.sim.Obs().Emit(obs.Event{T: int64(c.sim.Now()), Kind: obs.EvFrameDeliver,
+				Rank: int32(f.Dst), Peer: int32(f.Src), A: int64(f.Size)})
 			dst.handler(f)
 		})
 	})

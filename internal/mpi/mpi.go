@@ -19,9 +19,11 @@ package mpi
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 
 	"viampi/internal/core"
 	"viampi/internal/fabric"
+	"viampi/internal/obs"
 	"viampi/internal/simnet"
 	"viampi/internal/trace"
 	"viampi/internal/via"
@@ -85,8 +87,17 @@ type Config struct {
 	TuneFabric func(*fabric.Config)
 
 	// Trace, when set, records every point-to-point message (user and
-	// collective-internal) for communication-pattern analysis.
+	// collective-internal) for communication-pattern analysis. It is fed
+	// from the observability bus (an Obs bus is created implicitly when
+	// only Trace is set).
 	Trace *trace.Recorder
+
+	// Obs, when set, is the observability event bus: every layer (simnet,
+	// fabric, via, core, mpi) stamps structured events onto it in virtual
+	// time. Attach an obs.Recorder for Perfetto export or an obs.Collector
+	// for metrics before calling Run. Nil disables all instrumentation at
+	// zero per-event cost.
+	Obs *obs.Bus
 
 	// Profile enables per-call time accounting (PMPI-style); results are
 	// returned in RankStats.Profile and rendered by World.WriteProfile.
@@ -187,6 +198,7 @@ type RankStats struct {
 	WaitWakeups   int64
 	ComputeTime   simnet.Duration
 	Profile       map[string]*CallStat // nil unless Config.Profile
+	Phases        *obs.Phases          // nil unless observability is on
 }
 
 // World is the result of a run.
@@ -246,6 +258,24 @@ func (w *World) TotalPinnedPeak() int64 {
 	return t
 }
 
+// WritePhases renders the per-rank phase decomposition — where each rank's
+// virtual time went (compute, eager, rendezvous, connect, credit stalls,
+// progress polling). Empty unless observability was enabled for the run.
+func (w *World) WritePhases(out io.Writer) {
+	rows := make([]obs.PhaseRow, 0, len(w.Ranks))
+	for _, rs := range w.Ranks {
+		if rs.Phases == nil {
+			continue
+		}
+		rows = append(rows, obs.PhaseRow{Rank: rs.Rank, Elapsed: int64(w.Elapsed), P: rs.Phases})
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(out, "phases: empty (run with Config.Obs or Config.Trace set)")
+		return
+	}
+	obs.WritePhaseTable(out, rows)
+}
+
 // Run executes main on cfg.Procs simulated ranks and returns the collected
 // statistics. It is the analogue of mpirun: it boots the virtual cluster,
 // performs the out-of-band process-table exchange, runs MPI_Init under the
@@ -258,6 +288,15 @@ func Run(cfg Config, main func(r *Rank)) (*World, error) {
 	sim := simnet.New(cfg.Seed)
 	if cfg.Deadline > 0 {
 		sim.SetDeadline(simnet.Time(cfg.Deadline))
+	}
+	bus := cfg.Obs
+	if bus == nil && cfg.Trace != nil {
+		// Tracing rides on the event bus; create a private one.
+		bus = obs.NewBus()
+	}
+	sim.SetObs(bus)
+	if cfg.Trace != nil {
+		cfg.Trace.Attach(bus)
 	}
 	net := via.NewNetwork(sim, fcfg, cfg.cost)
 
@@ -295,8 +334,17 @@ func Run(cfg Config, main func(r *Rank)) (*World, error) {
 			}
 			r.cq = via.NewCQ(port)
 			r.ctxCounter = 2 // world uses contexts 0 (pt2pt) and 1 (collective)
-			if cfg.Profile {
-				r.prof = &profiler{proc: p, stats: map[string]*CallStat{}}
+			r.bus = sim.Obs()
+			if r.bus != nil {
+				r.phases = &obs.Phases{}
+				r.sendSeq = make([]int64, n)
+				r.recvSeq = make([]int64, n)
+			}
+			if cfg.Profile || r.bus != nil {
+				r.prof = &profiler{proc: p, rank: int32(i), bus: r.bus}
+				if cfg.Profile {
+					r.prof.stats = map[string]*CallStat{}
+				}
 			}
 
 			r.bootstrap(addrs)
@@ -313,10 +361,12 @@ func Run(cfg Config, main func(r *Rank)) (*World, error) {
 				return
 			}
 			r.mgr = mgr
+			connStart := p.Now()
 			if err := mgr.Init(); err != nil {
 				sim.Failf("mpi: rank %d init: %v", i, err)
 				return
 			}
+			r.phases.Add(obs.PhaseConnect, int64(p.Now().Sub(connStart)))
 			r.initTime = simnet.Duration(p.Now())
 			r.world = newComm(r, identity(n), 0)
 
@@ -354,6 +404,7 @@ func Run(cfg Config, main func(r *Rank)) (*World, error) {
 			if r.prof != nil {
 				world.Ranks[i].Profile = r.prof.stats
 			}
+			world.Ranks[i].Phases = r.phases
 		})
 	}
 	if err := sim.Run(); err != nil {

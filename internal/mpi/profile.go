@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"viampi/internal/obs"
 	"viampi/internal/simnet"
 )
 
@@ -22,11 +23,16 @@ type CallStat struct {
 
 // profiler accumulates per-call statistics for one rank. Only the
 // outermost MPI entry point on the call stack records (a Waitall inside
-// Alltoall is charged to Alltoall, not double-counted).
+// Alltoall is charged to Alltoall, not double-counted). When an
+// observability bus is attached, outermost entry points also become
+// call-span events (rendered as slices on the rank's trace track); stats
+// stay nil unless Config.Profile asked for the table.
 type profiler struct {
 	proc  *simnet.Proc
 	stats map[string]*CallStat
 	depth int
+	rank  int32
+	bus   *obs.Bus
 }
 
 // enter starts timing an entry point; the returned func stops it.
@@ -40,15 +46,23 @@ func (p *profiler) enter(name string) func() {
 		return func() { p.depth-- }
 	}
 	start := p.proc.Now()
+	p.bus.Emit(obs.Event{T: int64(start), Kind: obs.EvCallBegin,
+		Rank: p.rank, Peer: -1, Name: name})
 	return func() {
 		p.depth--
+		end := p.proc.Now()
+		p.bus.Emit(obs.Event{T: int64(end), Kind: obs.EvCallEnd,
+			Rank: p.rank, Peer: -1, Name: name})
+		if p.stats == nil {
+			return
+		}
 		st := p.stats[name]
 		if st == nil {
 			st = &CallStat{}
 			p.stats[name] = st
 		}
 		st.Calls++
-		st.Time += p.proc.Now().Sub(start)
+		st.Time += end.Sub(start)
 	}
 }
 
@@ -62,36 +76,66 @@ func (r *Rank) Profile() map[string]*CallStat {
 }
 
 // WriteProfile renders a rank-aggregated profile: per entry point, total
-// calls and virtual time across all ranks, sorted by time.
+// calls and virtual time across all ranks (sorted by time), plus the
+// per-rank spread — the fastest and slowest single-rank totals and the
+// imbalance ratio max/avg (1.00 = perfectly balanced; ranks that never
+// issued the call count as zero time, so a point-to-point call concentrated
+// on one rank shows its concentration here).
 func (w *World) WriteProfile(out io.Writer) {
-	agg := map[string]*CallStat{}
-	for _, rs := range w.Ranks {
+	nr := len(w.Ranks)
+	byCall := map[string][]simnet.Duration{} // per-rank time, indexed by rank
+	calls := map[string]int64{}
+	for i, rs := range w.Ranks {
 		for name, st := range rs.Profile {
-			a := agg[name]
-			if a == nil {
-				a = &CallStat{}
-				agg[name] = a
+			v := byCall[name]
+			if v == nil {
+				v = make([]simnet.Duration, nr)
+				byCall[name] = v
 			}
-			a.Calls += st.Calls
-			a.Time += st.Time
+			v[i] = st.Time
+			calls[name] += st.Calls
 		}
 	}
-	if len(agg) == 0 {
+	if len(byCall) == 0 {
 		fmt.Fprintln(out, "profile: empty (run with Config.Profile = true)")
 		return
 	}
-	names := make([]string, 0, len(agg))
-	for n := range agg {
+	total := map[string]simnet.Duration{}
+	names := make([]string, 0, len(byCall))
+	for n, v := range byCall {
 		names = append(names, n)
-	}
-	sort.Slice(names, func(i, j int) bool { return agg[names[i]].Time > agg[names[j]].Time })
-	fmt.Fprintf(out, "%-12s %10s %14s %12s\n", "call", "count", "total time", "avg")
-	for _, n := range names {
-		st := agg[n]
-		avg := simnet.Duration(0)
-		if st.Calls > 0 {
-			avg = st.Time / simnet.Duration(st.Calls)
+		for _, t := range v {
+			total[n] += t
 		}
-		fmt.Fprintf(out, "%-12s %10d %14s %12s\n", n, st.Calls, st.Time, avg)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if total[names[i]] != total[names[j]] {
+			return total[names[i]] > total[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	fmt.Fprintf(out, "%-12s %10s %14s %12s %12s %12s %7s\n",
+		"call", "count", "total time", "avg", "rank min", "rank max", "imbal")
+	for _, n := range names {
+		v := byCall[n]
+		min, max := v[0], v[0]
+		for _, t := range v[1:] {
+			if t < min {
+				min = t
+			}
+			if t > max {
+				max = t
+			}
+		}
+		avg := simnet.Duration(0)
+		if calls[n] > 0 {
+			avg = total[n] / simnet.Duration(calls[n])
+		}
+		imbal := 1.0
+		if total[n] > 0 {
+			imbal = float64(max) * float64(nr) / float64(total[n])
+		}
+		fmt.Fprintf(out, "%-12s %10d %14s %12s %12s %12s %7.2f\n",
+			n, calls[n], total[n], avg, min, max, imbal)
 	}
 }

@@ -74,9 +74,7 @@ func (c *Comm) isendCtx(mode SendMode, dst, tag int, data []byte, ctx int32) (*R
 	world := c.ranks[dst]
 	req := &Request{r: r, dstWorld: world, mode: mode, data: data}
 
-	if r.cfg.Trace != nil {
-		r.cfg.Trace.Record(int64(r.proc.Now()), r.rank, world, len(data), tag)
-	}
+	r.obsSend(world, len(data), tag)
 	if world == r.rank {
 		// Self-send: move bytes through the matching engine directly.
 		h := hdr{kind: pktEager, srcRank: int32(c.myrank), tag: int32(tag),

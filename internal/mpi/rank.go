@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"viampi/internal/core"
+	"viampi/internal/obs"
 	"viampi/internal/simnet"
 	"viampi/internal/via"
 )
@@ -59,6 +60,12 @@ type Rank struct {
 	appStart simnet.Time
 	prof     *profiler
 
+	// Observability (all nil/unused when the bus is off).
+	bus     *obs.Bus
+	phases  *obs.Phases
+	sendSeq []int64 // per-peer user-message sequence, send side
+	recvSeq []int64 // per-peer user-message sequence, receive side
+
 	finalized bool
 }
 
@@ -84,7 +91,47 @@ func (r *Rank) Wtime() float64 { return r.proc.Now().Seconds() }
 // Compute charges d seconds of application computation to virtual time.
 // NPB proxies use this to model their arithmetic phases.
 func (r *Rank) Compute(seconds float64) {
-	r.proc.Compute(simnet.Duration(seconds * 1e9))
+	d := simnet.Duration(seconds * 1e9)
+	r.proc.Compute(d)
+	r.phases.Add(obs.PhaseCompute, int64(d))
+}
+
+// nowNs is the current virtual time as an event timestamp.
+func (r *Rank) nowNs() int64 { return int64(r.proc.Now()) }
+
+// obsSend stamps a user-level message send on the bus with its per-pair
+// sequence number; the receive side assigns the same sequence on arrival, so
+// the pair forms one flow in the trace.
+func (r *Rank) obsSend(world, bytes, tag int) {
+	if r.bus == nil {
+		return
+	}
+	seq := r.sendSeq[world]
+	r.sendSeq[world]++
+	r.bus.Emit(obs.Event{T: r.nowNs(), Kind: obs.EvMsgSend,
+		Rank: int32(r.rank), Peer: int32(world), A: int64(bytes), B: int64(tag), C: seq})
+}
+
+// obsRecv stamps the first wire appearance of a user message (its eager or
+// RTS packet). VI delivery is FIFO per pair, so arrival order matches send
+// order and the per-pair counters line up.
+func (r *Rank) obsRecv(cs *chanState, h hdr) {
+	if r.bus == nil {
+		return
+	}
+	seq := r.recvSeq[cs.peer]
+	r.recvSeq[cs.peer]++
+	r.bus.Emit(obs.Event{T: r.nowNs(), Kind: obs.EvMsgRecv,
+		Rank: int32(r.rank), Peer: int32(cs.peer), A: int64(h.size), B: int64(h.tag), C: seq})
+}
+
+// obsGauge reports an instantaneous per-rank quantity (e.g. pinned bytes).
+func (r *Rank) obsGauge(name string, v int64) {
+	if r.bus == nil {
+		return
+	}
+	r.bus.Emit(obs.Event{T: r.nowNs(), Kind: obs.EvGauge,
+		Rank: int32(r.rank), Peer: -1, Name: name, A: v})
 }
 
 // Proc exposes the underlying simulated process (for harness integration).
@@ -148,6 +195,7 @@ func (r *Rank) growPool(cs *chanState, n int) {
 		}
 	}
 	cs.posted += n
+	r.obsGauge("pinned_bytes", r.port.Memory().Pinned())
 }
 
 // onChannelUp drains the paper's pre-posted send FIFO in order (§3.4).
@@ -194,6 +242,10 @@ func (r *Rank) post(cs *chanState, p *pkt) {
 	}
 	if len(cs.flowQ) > 0 || cs.credits < r.creditNeed(p) {
 		cs.flowQ = append(cs.flowQ, p)
+		if r.bus != nil {
+			r.bus.Emit(obs.Event{T: r.nowNs(), Kind: obs.EvCreditStall,
+				Rank: int32(r.rank), Peer: int32(cs.peer), A: int64(len(cs.flowQ))})
+		}
 		return
 	}
 	r.emit(cs, p)
@@ -229,6 +281,28 @@ func (r *Rank) emit(cs *chanState, p *pkt) {
 		return
 	}
 	cs.credits--
+	if r.bus != nil {
+		var k obs.Kind
+		switch p.hdr.kind {
+		case pktEager:
+			k = obs.EvEagerSend
+		case pktRts:
+			k = obs.EvRts
+		case pktCts:
+			k = obs.EvCts
+		case pktFin:
+			k = obs.EvFin
+		default:
+			k = obs.EvCreditGrant
+		}
+		if k == obs.EvCreditGrant {
+			r.bus.Emit(obs.Event{T: r.nowNs(), Kind: k,
+				Rank: int32(r.rank), Peer: int32(cs.peer), A: int64(p.hdr.credits)})
+		} else {
+			r.bus.Emit(obs.Event{T: r.nowNs(), Kind: k,
+				Rank: int32(r.rank), Peer: int32(cs.peer), A: int64(p.hdr.size), B: int64(p.hdr.credits)})
+		}
+	}
 	if p.onEmit != nil {
 		p.onEmit()
 	}
@@ -242,6 +316,12 @@ func (r *Rank) emit(cs *chanState, p *pkt) {
 // the paper's "a peer-to-peer connection request can be considered as
 // another type of nonblocking communication request" (§3.3).
 func (r *Rank) progress() {
+	if r.phases != nil {
+		start := r.proc.Now()
+		defer func() {
+			r.phases.Add(obs.PhaseProgress, int64(r.proc.Now().Sub(start)))
+		}()
+	}
 	r.mgr.Poll()
 
 	// Reap send completions so VIA queues don't grow without bound. All
@@ -316,8 +396,34 @@ func (r *Rank) waitProgress(cond func() bool) {
 		if cond() {
 			return
 		}
+		if r.phases == nil {
+			r.port.WaitActivity(r.cfg.WaitMode)
+			continue
+		}
+		// Charge the blocked interval to the phase explaining why we block.
+		ph := r.blockedPhase()
+		start := r.proc.Now()
 		r.port.WaitActivity(r.cfg.WaitMode)
+		r.phases.Add(ph, int64(r.proc.Now().Sub(start)))
 	}
+}
+
+// blockedPhase classifies why this rank is about to block: a pending
+// handshake, exhausted credits, an in-flight rendezvous, or plain eager
+// completion waiting (checked in that order of specificity).
+func (r *Rank) blockedPhase() obs.Phase {
+	if r.mgr.PendingConnections() > 0 {
+		return obs.PhaseConnect
+	}
+	for _, cs := range r.active {
+		if len(cs.flowQ) > 0 {
+			return obs.PhaseCreditStall
+		}
+	}
+	if len(r.sendReqs) > 0 || len(r.recvReqs) > 0 {
+		return obs.PhaseRendezvous
+	}
+	return obs.PhaseEager
 }
 
 // ---------------------------------------------------------------------------
@@ -332,17 +438,21 @@ func (r *Rank) handlePacket(cs *chanState, wire []byte) {
 	cs.credits += int(h.credits)
 	switch h.kind {
 	case pktEager:
+		r.obsRecv(cs, h)
 		if req := r.matchPRQ(h); req != nil {
 			r.deliverEager(req, h, payload)
 		} else {
 			cp := append([]byte(nil), payload...)
 			r.umq = append(r.umq, &umsg{h: h, payload: cp, cs: cs})
+			r.obsUnexpected()
 		}
 	case pktRts:
+		r.obsRecv(cs, h)
 		if req := r.matchPRQ(h); req != nil {
 			r.acceptRendezvous(req, h, cs)
 		} else {
 			r.umq = append(r.umq, &umsg{h: h, cs: cs})
+			r.obsUnexpected()
 		}
 	case pktCts:
 		req, ok := r.sendReqs[h.sreq]
@@ -362,6 +472,7 @@ func (r *Rank) handlePacket(cs *chanState, wire []byte) {
 		if err := r.port.ReleaseRdmaTarget(req.rkey, via.MemHandle(req.rmem)); err != nil {
 			r.proc.Sim().Failf("mpi: rank %d release rdma: %v", r.rank, err)
 		}
+		r.obsGauge("pinned_bytes", r.port.Memory().Pinned())
 		r.port.ChargeHost(simnet.Duration(req.rdvSize) * r.cfg.cost.HostCopyPerByte / 8)
 		req.status.Count = req.rdvSize
 		req.complete()
@@ -370,6 +481,15 @@ func (r *Rank) handlePacket(cs *chanState, wire []byte) {
 	default:
 		r.proc.Sim().Failf("mpi: rank %d unknown packet kind %s", r.rank, pktKindString(h.kind))
 	}
+}
+
+// obsUnexpected reports the unexpected-queue depth after an append.
+func (r *Rank) obsUnexpected() {
+	if r.bus == nil {
+		return
+	}
+	r.bus.Emit(obs.Event{T: r.nowNs(), Kind: obs.EvUnexpected,
+		Rank: int32(r.rank), Peer: -1, A: int64(len(r.umq))})
 }
 
 // matchPRQ finds and removes the first posted receive matching the header.
@@ -424,6 +544,7 @@ func (r *Rank) acceptRendezvous(req *Request, h hdr, cs *chanState) {
 		return
 	}
 	req.rkey, req.rmem, req.rdvSize = key, int64(mem), n
+	r.obsGauge("pinned_bytes", r.port.Memory().Pinned())
 	req.status = Status{Source: int(h.srcRank), Tag: int(h.tag), Count: n}
 	r.nextReq++
 	id := r.nextReq
@@ -441,6 +562,10 @@ func (r *Rank) rendezvousData(cs *chanState, req *Request, h hdr) {
 	if err := cs.ch.Vi.PostRdmaWrite(d); err != nil {
 		req.failf("mpi: rdma write: %v", err)
 		return
+	}
+	if r.bus != nil {
+		r.bus.Emit(obs.Event{T: r.nowNs(), Kind: obs.EvRdma,
+			Rank: int32(r.rank), Peer: int32(cs.peer), A: int64(len(req.data))})
 	}
 	r.post(cs, &pkt{
 		hdr:    hdr{kind: pktFin, srcRank: int32(r.rank), ctx: h.ctx, rreq: h.rreq},

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Phase decomposition: where a rank's virtual time went. This is the report
+// that explains Figs 6–8 — an application that is "communication bound" or a
+// mechanism whose cost is all connect time shows up directly as a column.
+type Phase int
+
+// The phases a rank's elapsed time decomposes into. Other is the residual
+// (bootstrap, host copy charges, NIC service waits not attributable to a
+// specific blocked reason).
+const (
+	PhaseCompute Phase = iota
+	PhaseEager
+	PhaseRendezvous
+	PhaseConnect
+	PhaseCreditStall
+	PhaseProgress
+	PhaseOther
+	NumPhases
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseCompute:
+		return "compute"
+	case PhaseEager:
+		return "eager"
+	case PhaseRendezvous:
+		return "rendezvous"
+	case PhaseConnect:
+		return "connect"
+	case PhaseCreditStall:
+		return "credit-stall"
+	case PhaseProgress:
+		return "progress-poll"
+	case PhaseOther:
+		return "other"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Phases accumulates per-phase virtual nanoseconds for one rank. A nil
+// *Phases ignores charges (observability off).
+type Phases struct {
+	Ns [NumPhases]int64
+}
+
+// Add charges d nanoseconds to phase p. Safe on a nil receiver.
+func (ph *Phases) Add(p Phase, d int64) {
+	if ph == nil || d <= 0 {
+		return
+	}
+	ph.Ns[p] += d
+}
+
+// Total returns the sum of all charged phases.
+func (ph *Phases) Total() int64 {
+	if ph == nil {
+		return 0
+	}
+	var t int64
+	for _, v := range ph.Ns {
+		t += v
+	}
+	return t
+}
+
+// PhaseRow is one rank's line in the phase report.
+type PhaseRow struct {
+	Rank    int
+	Elapsed int64 // the rank's total virtual nanoseconds (the denominator)
+	P       *Phases
+}
+
+// WritePhaseTable renders the per-rank phase decomposition: one row per
+// rank, a column per phase (milliseconds and percent of elapsed), with
+// "other" computed as the residual so the row always sums to Elapsed.
+func WritePhaseTable(w io.Writer, rows []PhaseRow) {
+	fmt.Fprintf(w, "%-5s %10s", "rank", "elapsed")
+	for p := PhaseCompute; p < NumPhases; p++ {
+		fmt.Fprintf(w, " %18s", p.String())
+	}
+	fmt.Fprintln(w)
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-5d %8.2fms", row.Rank, float64(row.Elapsed)/1e6)
+		for p := PhaseCompute; p < NumPhases; p++ {
+			ns := row.P.Ns[p]
+			if p == PhaseOther {
+				if resid := row.Elapsed - row.P.Total() + row.P.Ns[PhaseOther]; resid > 0 {
+					ns = resid
+				}
+			}
+			pct := 0.0
+			if row.Elapsed > 0 {
+				pct = 100 * float64(ns) / float64(row.Elapsed)
+			}
+			fmt.Fprintf(w, " %10.2fms %5.1f%%", float64(ns)/1e6, pct)
+		}
+		fmt.Fprintln(w)
+	}
+}

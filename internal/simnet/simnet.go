@@ -18,6 +18,8 @@ import (
 	"runtime/debug"
 	"sort"
 	"time"
+
+	"viampi/internal/obs"
 )
 
 // Time is an absolute virtual timestamp in nanoseconds since simulation start.
@@ -105,6 +107,7 @@ type Sim struct {
 	deadline Time // 0 means none
 	rng      *rand.Rand
 	seed     int64
+	obsBus   *obs.Bus
 
 	// EventCount is the total number of events dispatched so far.
 	EventCount uint64
@@ -125,6 +128,14 @@ func (s *Sim) Now() Time { return s.now }
 // Rand returns the simulation's deterministic random source. It must only be
 // used from simulation context (process bodies or event callbacks).
 func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// SetObs attaches the observability bus every layer emits into. A nil bus
+// (the default) disables observability at zero cost.
+func (s *Sim) SetObs(b *obs.Bus) { s.obsBus = b }
+
+// Obs returns the attached observability bus, or nil when disabled. Callers
+// emit with s.Obs().Emit(...) — Emit on a nil bus is a no-op.
+func (s *Sim) Obs() *obs.Bus { return s.obsBus }
 
 // SetDeadline aborts Run with an error if virtual time passes t.
 // A zero t removes the deadline.
@@ -214,13 +225,19 @@ func (s *Sim) Spawn(name string, start Time, fn func(p *Proc)) *Proc {
 			if r := recover(); r != nil {
 				s.Failf("process %q panicked: %v\n%s", p.name, r, debug.Stack())
 			}
+			s.obsBus.Emit(obs.Event{T: int64(s.now), Kind: obs.EvProcEnd,
+				Rank: int32(p.id), Peer: -1, Name: p.name})
 			p.finished = true
 			s.live--
 			s.yield <- struct{}{}
 		}()
 		fn(p)
 	}()
-	s.At(start, func() { s.dispatch(p, wake{}) })
+	s.At(start, func() {
+		s.obsBus.Emit(obs.Event{T: int64(s.now), Kind: obs.EvProcStart,
+			Rank: int32(p.id), Peer: -1, Name: p.name})
+		s.dispatch(p, wake{})
+	})
 	return p
 }
 

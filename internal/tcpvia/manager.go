@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"viampi/internal/obs"
 )
 
 // Manager applies the paper's connection-management policies to a group of
@@ -25,6 +27,22 @@ type Manager struct {
 	timeout  time.Duration
 	closed   bool
 	adoptWG  sync.WaitGroup
+
+	// metricsMu guards metrics alone (the registry is not goroutine-safe
+	// and this stack is genuinely concurrent). It is a leaf lock: never
+	// held while acquiring mu or a channel lock.
+	metricsMu sync.Mutex
+	metrics   *obs.Registry
+}
+
+// count bumps a named counter on the attached registry (nil = no metrics).
+func (m *Manager) count(name string, n int64) {
+	if m.metrics == nil {
+		return
+	}
+	m.metricsMu.Lock()
+	m.metrics.Inc(name, n)
+	m.metricsMu.Unlock()
 }
 
 // Channel is the per-peer state: the VI plus the pre-posted send FIFO.
@@ -54,6 +72,11 @@ type ManagerConfig struct {
 	RecvPool int      // receive buffers pre-posted per VI (default 32)
 	BufSize  int      // receive buffer size (default 64 KiB)
 	Timeout  time.Duration
+
+	// Metrics, when set, receives connection and FIFO counters
+	// ("tcpvia.conn.up", "tcpvia.fifo.parked", ...). The manager
+	// serializes its own access; readers should dump after Close.
+	Metrics *obs.Registry
 }
 
 // NewManager wires a node into a ranked group under the chosen policy.
@@ -78,6 +101,7 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		policy:   cfg.Policy,
 		channels: make(map[int]*Channel),
 		recvPool: cfg.RecvPool,
+		metrics:  cfg.Metrics,
 	}
 	m.bufSize = cfg.BufSize
 	m.timeout = cfg.Timeout
@@ -142,6 +166,7 @@ func (m *Manager) adoptLoop() {
 		rank := m.rankOf(req.From)
 		if rank < 0 {
 			req.Reject()
+			m.count("tcpvia.conn.rejected", 1)
 			continue
 		}
 		ch := m.channel(rank)
@@ -225,8 +250,12 @@ func (m *Manager) markUp(ch *Channel) {
 	for _, data := range ch.fifo {
 		ch.Vi.PostSend(data)
 	}
+	if len(ch.fifo) > 0 {
+		m.count("tcpvia.fifo.drained", int64(len(ch.fifo)))
+	}
 	ch.fifo = nil
 	ch.up = true
+	m.count("tcpvia.conn.up", 1)
 	close(ch.upped)
 }
 
@@ -248,6 +277,7 @@ func (m *Manager) Send(rank int, data []byte) error {
 		first := len(ch.fifo) == 0 && m.policy == "ondemand"
 		ch.fifo = append(ch.fifo, cp)
 		ch.mu.Unlock()
+		m.count("tcpvia.fifo.parked", 1)
 		if first {
 			go func() {
 				if _, err := m.establish(rank); err != nil {
@@ -265,6 +295,7 @@ func (m *Manager) Send(rank int, data []byte) error {
 	if st == Discarded {
 		return fmt.Errorf("tcpvia: send discarded in state %v", ch.Vi.State())
 	}
+	m.count("tcpvia.msgs.sent", 1)
 	return nil
 }
 

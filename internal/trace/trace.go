@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"viampi/internal/obs"
 )
 
 // Event is one recorded point-to-point message.
@@ -41,6 +43,21 @@ func New(size int, keepEvents bool) *Recorder {
 		r.bytes[i] = make([]int64, size)
 	}
 	return r
+}
+
+// Attach subscribes the recorder to an observability bus: every user-level
+// message send event (obs.EvMsgSend) becomes one Record call, so a recorder
+// fed from the bus builds exactly the matrices the direct API builds.
+// Safe on a nil bus (no-op).
+func (r *Recorder) Attach(b *obs.Bus) {
+	if b == nil {
+		return
+	}
+	b.Subscribe(func(e obs.Event) {
+		if e.Kind == obs.EvMsgSend {
+			r.Record(e.T, int(e.Rank), int(e.Peer), int(e.A), int(e.B))
+		}
+	})
 }
 
 // Record notes one message.

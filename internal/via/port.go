@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"viampi/internal/fabric"
+	"viampi/internal/obs"
 	"viampi/internal/simnet"
 )
 
@@ -99,6 +100,12 @@ func (p *Port) Stats() PortStats { return p.stats }
 // Network returns the provider this port belongs to.
 func (p *Port) Network() *Network { return p.net }
 
+// Obs returns the simulation's observability bus (nil when disabled).
+func (p *Port) Obs() *obs.Bus { return p.net.sim.Obs() }
+
+// NowNs is the current virtual time as an event timestamp.
+func (p *Port) NowNs() int64 { return int64(p.net.sim.Now()) }
+
 // ChargeHost accumulates host CPU cost against the owning process. The debt
 // is flushed (converted into simulated compute time) once it crosses a small
 // threshold or before the process blocks, keeping event counts manageable.
@@ -190,6 +197,8 @@ func (p *Port) CreateViCQ(cq *CQ) (*VI, error) {
 	p.vis = append(p.vis, vi)
 	p.net.nodes[p.node].openVIs++
 	p.stats.VisCreated++
+	p.Obs().Emit(obs.Event{T: p.NowNs(), Kind: obs.EvViCreate,
+		Rank: int32(p.ep), Peer: -1, A: int64(p.stats.VisCreated)})
 	return vi, nil
 }
 
@@ -233,6 +242,8 @@ func (p *Port) ConnectPeerRequest(vi *VI, remote Addr, disc uint64) error {
 	vi.remoteEp = remote.Ep
 	vi.disc = disc
 	p.stats.ConnReqsSent++
+	p.Obs().Emit(obs.Event{T: p.NowNs(), Kind: obs.EvConnRequest,
+		Rank: int32(p.ep), Peer: int32(remote.Ep), A: int64(disc)})
 
 	// If the matching request already arrived, complete the rendezvous now.
 	for i, req := range p.pendingIncoming {
@@ -333,6 +344,8 @@ func (p *Port) Accept(req *PeerRequest, vi *VI) error {
 	vi.state = ViConnecting
 	vi.remoteEp = req.From.Ep
 	vi.disc = req.Disc
+	p.Obs().Emit(obs.Event{T: p.NowNs(), Kind: obs.EvConnAccept,
+		Rank: int32(p.ep), Peer: int32(req.From.Ep), A: int64(req.Disc)})
 	p.establishAfter(vi, req.RemoteVi, p.net.cost.ConnectProcCost, true)
 	return nil
 }
@@ -346,6 +359,8 @@ func (p *Port) Reject(req *PeerRequest) {
 			break
 		}
 	}
+	p.Obs().Emit(obs.Event{T: p.NowNs(), Kind: obs.EvConnReject,
+		Rank: int32(p.ep), Peer: int32(req.From.Ep), A: int64(req.Disc)})
 	p.net.sendFrame(p, req.From.Ep, &wireMsg{
 		kind: kindConnNack, srcEp: p.ep, disc: req.Disc, dstVi: req.RemoteVi,
 	}, 64)
@@ -361,6 +376,8 @@ func (p *Port) establishAfter(vi *VI, remoteVi int, d simnet.Duration, sendAck b
 		vi.remoteVi = remoteVi
 		vi.state = ViConnected
 		p.stats.VisConnected++
+		p.Obs().Emit(obs.Event{T: p.NowNs(), Kind: obs.EvConnUp,
+			Rank: int32(p.ep), Peer: int32(vi.remoteEp), A: int64(vi.disc)})
 		if sendAck {
 			p.net.sendFrame(p, vi.remoteEp, &wireMsg{
 				kind: kindConnAck, srcEp: p.ep, srcVi: vi.id, disc: vi.disc, dstVi: remoteVi,
@@ -408,6 +425,8 @@ func (p *Port) dispatch(m *wireMsg) {
 			vi.remoteVi = m.srcVi
 			vi.state = ViConnected
 			p.stats.VisConnected++
+			p.Obs().Emit(obs.Event{T: p.NowNs(), Kind: obs.EvConnUp,
+				Rank: int32(p.ep), Peer: int32(vi.remoteEp), A: int64(vi.disc)})
 			vi.deliverHeld()
 			p.notifyActivity()
 		}
