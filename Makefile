@@ -1,9 +1,9 @@
 # Single entry point for CI and builders: `make check` is the tier-1 gate.
 GO ?= go
 
-.PHONY: check fmt vet build test race analyze figures bench-snapshot bench-smoke
+.PHONY: check fmt vet build test race analyze figures bench-snapshot bench-smoke fault-smoke
 
-check: fmt vet build test race analyze bench-smoke
+check: fmt vet build test race analyze bench-smoke fault-smoke
 
 # gofmt -l prints offending files; any output is a failure.
 fmt:
@@ -41,3 +41,9 @@ bench-snapshot:
 # Tiny subset proving the snapshot path works; part of `make check`.
 bench-smoke:
 	$(GO) run ./cmd/benchsnap -smoke > /dev/null
+
+# Connection-fault matrix and eviction round-trip, run uncached: the fault
+# injector and the VI-cap evictor must heal every run without losing or
+# reordering a message.
+fault-smoke:
+	$(GO) test ./internal/mpi -run 'TestFaultMatrix|TestEviction' -count=1

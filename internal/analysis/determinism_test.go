@@ -22,6 +22,7 @@ import (
 	"viampi/internal/obs"
 	"viampi/internal/simnet"
 	"viampi/internal/trace"
+	"viampi/internal/via"
 )
 
 // runDigest executes one replay of the CG communication pattern under cfg
@@ -77,6 +78,46 @@ func TestDualRunDeterminism(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestEvictionDualRunDeterminism extends the dual-run property to capped
+// on-demand runs: with MaxVIs far below N-1 the eviction/reconnect machinery
+// fires constantly, and its victim selection, BYE handshakes, and parked-send
+// replays must all be pure functions of the Config.
+func TestEvictionDualRunDeterminism(t *testing.T) {
+	const rounds, msgBytes = 2, 1024
+	for _, procs := range []int{8, 16} {
+		t.Run(fmt.Sprintf("p%d", procs), func(t *testing.T) {
+			cfg := mpi.Config{Procs: procs, Policy: "ondemand", MaxVIs: 3, Seed: 42}
+			first := runDigest(t, cfg, rounds, msgBytes)
+			second := runDigest(t, cfg, rounds, msgBytes)
+			if first != second {
+				t.Fatalf("capped runs with identical Configs diverged:\n  run 1: %s\n  run 2: %s", first, second)
+			}
+		})
+	}
+}
+
+// TestFaultDualRunDeterminism pins the fault injector's hash-seeded design:
+// dropped, refused, and delayed connection requests — and every retry and
+// backoff they trigger — must replay identically for the same Config.
+func TestFaultDualRunDeterminism(t *testing.T) {
+	const rounds, msgBytes = 2, 1024
+	plan := func() *via.FaultPlan {
+		return &via.FaultPlan{DropConnReq: 0.25, RefuseConnReq: 0.25,
+			DelayConnReq: 0.5, ConnReqDelay: 300 * simnet.Microsecond}
+	}
+	for _, policy := range []string{"static-p2p", "ondemand"} {
+		t.Run(policy, func(t *testing.T) {
+			cfg := mpi.Config{Procs: 8, Policy: policy, Seed: 42, Faults: plan()}
+			first := runDigest(t, cfg, rounds, msgBytes)
+			cfg.Faults = plan()
+			second := runDigest(t, cfg, rounds, msgBytes)
+			if first != second {
+				t.Fatalf("faulted runs with identical Configs diverged:\n  run 1: %s\n  run 2: %s", first, second)
+			}
+		})
 	}
 }
 

@@ -158,6 +158,7 @@ func Experiments() []Experiment {
 		{"ext-ib", "InfiniBand extension: the issue outlives VIA (paper §6)", ExtIB},
 		{"ext-apps", "Table 1 app patterns measured on the stack", ExtApps},
 		{"ext-npb", "FT and LU — the kernels the paper omitted", ExtNpb},
+		{"ext-evict", "Eviction extension: latency vs. VI cap (Berkeley VIA)", ExtEvict},
 	}
 }
 

@@ -20,8 +20,8 @@ func cell(t *testing.T, tb *Table, row, col int) float64 {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(Experiments()) != 21 {
-		t.Fatalf("have %d experiments, want 21 (every paper table+figure plus 5 extensions)", len(Experiments()))
+	if len(Experiments()) != 22 {
+		t.Fatalf("have %d experiments, want 22 (every paper table+figure plus 6 extensions)", len(Experiments()))
 	}
 	seen := map[string]bool{}
 	for _, e := range Experiments() {
@@ -361,6 +361,33 @@ func TestExtensionExperiments(t *testing.T) {
 	tDyn := cell(t, dy, 2, 3)
 	if tDyn > tStatic*1.25 {
 		t.Errorf("ext-dynamic run time %.3f ms too far above static %.3f ms", tDyn, tStatic)
+	}
+
+	ev, err := ExtEvict(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Rows) != 4 {
+		t.Fatalf("ext-evict rows = %d", len(ev.Rows))
+	}
+	// Row 0 is uncapped: the shift pattern touches every peer, so no
+	// evictions and a full mesh's worth of pinned memory. The tightest cap
+	// (last row) must actually evict and must pin less.
+	if ev.Rows[0][4] != "0" {
+		t.Errorf("ext-evict uncapped run evicted (%s)", ev.Rows[0][4])
+	}
+	lastEv := len(ev.Rows) - 1
+	if cell(t, ev, lastEv, 4) == 0 {
+		t.Error("ext-evict: tightest cap recorded no evictions")
+	}
+	if cell(t, ev, lastEv, 2) >= cell(t, ev, 0, 2) {
+		t.Errorf("ext-evict: cap did not shrink pinned memory (%s vs %s)",
+			ev.Rows[lastEv][2], ev.Rows[0][2])
+	}
+	// The cap trades memory for latency: capped runs cannot be faster.
+	if cell(t, ev, lastEv, 3) < cell(t, ev, 0, 3) {
+		t.Errorf("ext-evict: capped latency %s below uncapped %s",
+			ev.Rows[lastEv][3], ev.Rows[0][3])
 	}
 
 	ib, err := ExtIB(quick)

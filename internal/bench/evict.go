@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+
+	"viampi/internal/mpi"
+	"viampi/internal/obs"
+)
+
+// ExtEvict sweeps the on-demand manager's VI cap on the Berkeley VIA
+// profile: a phased shift pattern touches every peer, so any cap below N-1
+// forces the LRU evictor to recycle channels mid-run. The table shows the
+// resource/latency trade the cap buys — pinned memory falls with the cap
+// while message latency rises with the reconnect traffic it induces.
+func ExtEvict(opt Options) (*Table, error) {
+	t := &Table{
+		ID:    "ext-evict",
+		Title: "Eviction extension: latency vs. VI cap (Berkeley VIA, shift pattern)",
+		Columns: []string{"MaxVIs", "VIs created", "pinned/rank (kB)",
+			"msg latency (us)", "evictions", "retries", "run time (ms)"},
+		Notes: []string{"cap 0 = uncapped; each phase shifts to a fresh peer, so small caps evict every phase",
+			"VIs created counts churn: every reconnect after an eviction creates a fresh VI"},
+	}
+	n := 16
+	iters := 8
+	if opt.Quick {
+		n, iters = 8, 4
+	}
+	workload := func(r *mpi.Rank) {
+		c := r.World()
+		me := c.Rank()
+		out := make([]byte, 256)
+		in := make([]byte, 256)
+		for ph := 1; ph < n; ph++ {
+			dst := (me + ph) % n
+			src := (me - ph + n) % n
+			for i := 0; i < iters; i++ {
+				if _, err := c.Sendrecv(dst, ph, out, src, ph, in); err != nil {
+					r.Proc().Sim().Failf("shift: %v", err)
+					return
+				}
+			}
+		}
+	}
+	for _, maxVIs := range []int{0, 8, 4, 2} {
+		cfg := baseConfig("bvia", OnDemand, n, opt.Seed)
+		cfg.MaxVIs = maxVIs
+		reg := obs.NewRegistry()
+		if cfg.Obs == nil { // leave an Instrument-provided bus in place
+			cfg.Obs = obs.NewBus()
+		}
+		obs.NewCollector(reg).Attach(cfg.Obs)
+		w, err := mpi.Run(cfg, workload)
+		if err != nil {
+			return nil, fmt.Errorf("ext-evict cap=%d: %w", maxVIs, err)
+		}
+		lat := reg.Hist("msg.latency_ns", nil).Mean() / 1e3
+		perRank := float64(w.TotalPinnedPeak()) / float64(n) / 1024
+		t.AddRow(fmt.Sprint(maxVIs), fmtF(w.AvgVIs()), fmtF(perRank),
+			fmtF(lat),
+			fmt.Sprint(reg.Counter("conn.evictions")),
+			fmt.Sprint(reg.Counter("conn.retries")),
+			fmt.Sprintf("%.3f", w.Elapsed.Seconds()*1e3))
+	}
+	return t, nil
+}

@@ -29,6 +29,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"viampi/internal/obs"
@@ -53,12 +54,31 @@ type Channel struct {
 	Vi   *via.VI // endpoint; may be mid-handshake
 	Up   bool    // true once the connection is established and the FIFO drained
 
+	// Evicting marks a channel the MPI layer is gracefully draining under
+	// the VI cap; it still counts toward the cap's pending frees but must
+	// not be picked as a victim again.
+	Evicting bool
+
 	// UserData carries the MPI layer's per-channel state (credits, eager
 	// buffer pool).
 	UserData interface{}
 
 	fifo []interface{}
+
+	// Handshake/retry state owned by the managers. Zero times mean
+	// "unset": channels only exist after the t=0 bootstrap, so no real
+	// stamp collides with the sentinel.
+	lastUsed  simnet.Time // last send/recv touch (the LRU eviction key)
+	remote    via.Addr    // reissue target
+	disc      uint64      // reissue discriminator
+	attempts  int         // connection attempts so far
+	deadline  simnet.Time // current attempt times out at this instant
+	retryAt   simnet.Time // backed-off reissue due at this instant
+	reconnect simnet.Time // re-establishment started (EvReconnect latency)
 }
+
+// Touch stamps the channel as used now (the LRU eviction key).
+func (c *Channel) Touch(now simnet.Time) { c.lastUsed = now }
 
 // Park appends a pre-posted send to the channel's FIFO (paper §3.4).
 func (c *Channel) Park(item interface{}) {
@@ -111,6 +131,25 @@ type Config struct {
 	// OnChannelUp runs when the connection is established; the MPI layer
 	// drains the parked sends here, in order.
 	OnChannelUp func(ch *Channel)
+
+	// MaxVIs, when positive, caps the channels an OnDemand manager keeps
+	// live; crossing the cap LRU-evicts an idle channel via StartEvict.
+	// The cap is soft: when nothing passes CanEvict the new connection
+	// proceeds over the cap (refusing it would deadlock the transfer).
+	MaxVIs int
+	// CanEvict reports whether ch is quiescent enough for graceful
+	// eviction; StartEvict begins the MPI-layer drain handshake. Both
+	// must be set for MaxVIs to take effect.
+	CanEvict   func(ch *Channel) bool
+	StartEvict func(ch *Channel)
+
+	// ConnTimeout bounds one connection attempt; 0 arms no timers (the
+	// default — timing-neutral for fault-free runs). ConnRetryMax caps
+	// attempts (default 8); ConnBackoff seeds the exponential backoff
+	// between attempts (default 200 µs).
+	ConnTimeout  simnet.Duration
+	ConnRetryMax int
+	ConnBackoff  simnet.Duration
 }
 
 func (c Config) validate() error {
@@ -146,6 +185,10 @@ type Manager interface {
 	Poll()
 	// PendingConnections reports channels still mid-handshake.
 	PendingConnections() int
+	// ReleaseChannel forgets the channel to rank after the MPI layer has
+	// torn it down (evicted or disconnected); a later Channel(rank) makes
+	// a fresh connection.
+	ReleaseChannel(rank int)
 	// Finalize tears down all channels.
 	Finalize()
 }
@@ -155,6 +198,7 @@ type base struct {
 	cfg      Config
 	channels []*Channel // by rank; nil where absent
 	epToRank map[int]int
+	everUp   []bool // rank ever had an established channel (reconnect metric)
 }
 
 func newBase(cfg Config) (*base, error) {
@@ -165,6 +209,7 @@ func newBase(cfg Config) (*base, error) {
 		cfg:      cfg,
 		channels: make([]*Channel, cfg.Size),
 		epToRank: make(map[int]int, cfg.Size),
+		everUp:   make([]bool, cfg.Size),
 	}
 	for r, a := range cfg.Addrs {
 		b.epToRank[a.Ep] = r
@@ -198,8 +243,152 @@ func (b *base) newChannel(rank int) (*Channel, error) {
 // markUp promotes a connected channel and hands it to the MPI layer.
 func (b *base) markUp(ch *Channel) {
 	ch.Up = true
+	ch.deadline, ch.retryAt, ch.attempts = 0, 0, 0
+	if ch.reconnect != 0 {
+		p := b.cfg.Port
+		p.Obs().Emit(obs.Event{T: p.NowNs(), Kind: obs.EvReconnect,
+			Rank: int32(b.cfg.Rank), Peer: int32(ch.Rank),
+			A: int64(p.Owner().Now().Sub(ch.reconnect))})
+		ch.reconnect = 0
+	}
+	b.everUp[ch.Rank] = true
 	if b.cfg.OnChannelUp != nil {
 		b.cfg.OnChannelUp(ch)
+	}
+}
+
+// ReleaseChannel implements Manager.
+func (b *base) ReleaseChannel(rank int) { b.channels[rank] = nil }
+
+// retryMax and backoff resolve the retry knobs' defaults.
+func (b *base) retryMax() int {
+	if b.cfg.ConnRetryMax > 0 {
+		return b.cfg.ConnRetryMax
+	}
+	return 8
+}
+
+func (b *base) backoff(attempts int) simnet.Duration {
+	d := b.cfg.ConnBackoff
+	if d <= 0 {
+		d = 200 * simnet.Microsecond
+	}
+	if attempts > 1 {
+		d <<= uint(attempts - 1)
+	}
+	return d
+}
+
+// issue starts (or restarts) the peer-to-peer handshake for ch, arming the
+// attempt timeout when one is configured.
+func (b *base) issue(ch *Channel, remote via.Addr, disc uint64) error {
+	ch.remote, ch.disc = remote, disc
+	ch.attempts++
+	if err := b.cfg.Port.ConnectPeerRequest(ch.Vi, remote, disc); err != nil {
+		return err
+	}
+	ch.retryAt = 0
+	if b.cfg.ConnTimeout > 0 {
+		ch.deadline = b.cfg.Port.Owner().Now().Add(b.cfg.ConnTimeout)
+		b.cfg.Port.NotifyAfter(b.cfg.ConnTimeout)
+	}
+	return nil
+}
+
+// scheduleRetry books a backed-off reissue for a failed attempt, or fails
+// the run loudly once the attempt budget is spent — parked sends must never
+// be stranded silently.
+func (b *base) scheduleRetry(ch *Channel, why string) {
+	if ch.attempts >= b.retryMax() {
+		b.cfg.Port.Owner().Sim().Failf(
+			"core: rank %d→%d connection %s after %d attempts; %d parked sends stranded",
+			b.cfg.Rank, ch.Rank, why, ch.attempts, ch.Parked())
+		return
+	}
+	d := b.backoff(ch.attempts)
+	ch.deadline = 0
+	ch.retryAt = b.cfg.Port.Owner().Now().Add(d)
+	b.cfg.Port.NotifyAfter(d)
+}
+
+// reissue re-sends the connection request after a NACK or timeout.
+func (b *base) reissue(ch *Channel) {
+	p := b.cfg.Port
+	p.Obs().Emit(obs.Event{T: p.NowNs(), Kind: obs.EvConnRetry,
+		Rank: int32(b.cfg.Rank), Peer: int32(ch.Rank), A: int64(ch.attempts)})
+	if err := b.issue(ch, ch.remote, ch.disc); err != nil {
+		p.Owner().Sim().Failf("core: rank %d→%d reissue: %v", b.cfg.Rank, ch.Rank, err)
+	}
+}
+
+// progressHandshakes drives retry/timeout for channels mid-handshake. A VI
+// back in ViIdle with attempts on record means the peer NACKed (or a timeout
+// cancelled the attempt); without this the parked sends would be stranded
+// forever.
+func (b *base) progressHandshakes() {
+	now := b.cfg.Port.Owner().Now()
+	for _, ch := range b.channels {
+		if ch == nil || ch.Up || ch.attempts == 0 {
+			continue
+		}
+		switch ch.Vi.State() {
+		case via.ViIdle:
+			if ch.retryAt == 0 {
+				b.scheduleRetry(ch, "rejected")
+			} else if now.Sub(ch.retryAt) >= 0 {
+				b.reissue(ch)
+			}
+		case via.ViConnecting:
+			if ch.deadline != 0 && now.Sub(ch.deadline) >= 0 {
+				// Cancel can race with a just-completed establishment;
+				// losing that race leaves the VI connected, which is fine.
+				if err := b.cfg.Port.CancelConnect(ch.Vi); err != nil {
+					continue
+				}
+				b.scheduleRetry(ch, "timed out")
+			}
+		}
+	}
+}
+
+// connectWithRetry is the blocking client-side connect used by the static
+// client-server policy, with NACK/timeout retry and exponential backoff.
+func (b *base) connectWithRetry(ch *Channel, remote via.Addr, disc uint64) error {
+	p := b.cfg.Port
+	for {
+		ch.remote, ch.disc = remote, disc
+		ch.attempts++
+		if err := p.ConnectPeerRequest(ch.Vi, remote, disc); err != nil {
+			return err
+		}
+		timeout := simnet.Duration(-1)
+		if b.cfg.ConnTimeout > 0 {
+			timeout = b.cfg.ConnTimeout
+		}
+		err := p.ConnectPeerWait(ch.Vi, b.cfg.Mode, timeout)
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, via.ErrTimeout):
+			if cerr := p.CancelConnect(ch.Vi); cerr != nil {
+				// The handshake completed while we were timing out.
+				if ch.Vi.State() == via.ViConnected {
+					return nil
+				}
+				return cerr
+			}
+		case errors.Is(err, via.ErrRejected):
+			// Retry below.
+		default:
+			return err
+		}
+		if ch.attempts >= b.retryMax() {
+			return fmt.Errorf("core: rank %d→%d connection failed after %d attempts: %w",
+				b.cfg.Rank, ch.Rank, ch.attempts, err)
+		}
+		p.Obs().Emit(obs.Event{T: p.NowNs(), Kind: obs.EvConnRetry,
+			Rank: int32(b.cfg.Rank), Peer: int32(ch.Rank), A: int64(ch.attempts)})
+		p.Owner().Sleep(b.backoff(ch.attempts))
 	}
 }
 
@@ -270,7 +459,7 @@ func (m *StaticPeerToPeer) Init() error {
 		if err != nil {
 			return err
 		}
-		if err := m.cfg.Port.ConnectPeerRequest(ch.Vi, m.cfg.Addrs[r], PairDisc(m.cfg.Rank, r)); err != nil {
+		if err := m.issue(ch, m.cfg.Addrs[r], PairDisc(m.cfg.Rank, r)); err != nil {
 			return err
 		}
 	}
@@ -291,7 +480,10 @@ func (m *StaticPeerToPeer) Channel(rank int) (*Channel, error) {
 func (m *StaticPeerToPeer) ConnectAll() error { return nil }
 
 // Poll implements Manager.
-func (m *StaticPeerToPeer) Poll() { m.promoteConnected() }
+func (m *StaticPeerToPeer) Poll() {
+	m.progressHandshakes()
+	m.promoteConnected()
+}
 
 // ---------------------------------------------------------------------------
 // Static client-server
@@ -323,7 +515,7 @@ func (m *StaticClientServer) Init() error {
 		if err != nil {
 			return err
 		}
-		if err := m.cfg.Port.ConnectRequest(ch.Vi, m.cfg.Addrs[r], PairDisc(me, r), m.cfg.Mode); err != nil {
+		if err := m.connectWithRetry(ch, m.cfg.Addrs[r], PairDisc(me, r)); err != nil {
 			return fmt.Errorf("core: rank %d connect to %d: %w", me, r, err)
 		}
 		m.markUp(ch)
@@ -365,7 +557,10 @@ func (m *StaticClientServer) Channel(rank int) (*Channel, error) {
 func (m *StaticClientServer) ConnectAll() error { return nil }
 
 // Poll implements Manager.
-func (m *StaticClientServer) Poll() { m.promoteConnected() }
+func (m *StaticClientServer) Poll() {
+	m.progressHandshakes()
+	m.promoteConnected()
+}
 
 // ---------------------------------------------------------------------------
 // On-demand
@@ -388,6 +583,53 @@ func (m *OnDemand) Name() string { return "ondemand" }
 // Init does nothing: no VI is created until a pair communicates.
 func (m *OnDemand) Init() error { return nil }
 
+// liveChannels counts existing channels and how many are mid-eviction.
+func (m *OnDemand) liveChannels() (live, evicting int) {
+	for _, ch := range m.channels {
+		if ch == nil {
+			continue
+		}
+		live++
+		if ch.Evicting {
+			evicting++
+		}
+	}
+	return
+}
+
+// evictForCap starts graceful evictions until the cap has room for one more
+// channel, counting in-flight evictions as pending frees (the teardown
+// handshake is asynchronous). The cap is soft: with no evictable victim the
+// new connection proceeds over the cap rather than deadlock.
+func (m *OnDemand) evictForCap() {
+	if m.cfg.MaxVIs <= 0 || m.cfg.CanEvict == nil || m.cfg.StartEvict == nil {
+		return
+	}
+	live, evicting := m.liveChannels()
+	for live+1-evicting > m.cfg.MaxVIs {
+		var victim *Channel
+		for _, ch := range m.channels {
+			if ch == nil || !ch.Up || ch.Evicting || !m.cfg.CanEvict(ch) {
+				continue
+			}
+			// Strict < ties break toward the lowest rank (scan order),
+			// keeping victim choice deterministic.
+			if victim == nil || ch.lastUsed.Sub(victim.lastUsed) < 0 {
+				victim = ch
+			}
+		}
+		if victim == nil {
+			return
+		}
+		victim.Evicting = true
+		evicting++
+		p := m.cfg.Port
+		p.Obs().Emit(obs.Event{T: p.NowNs(), Kind: obs.EvEvict,
+			Rank: int32(m.cfg.Rank), Peer: int32(victim.Rank), A: int64(live)})
+		m.cfg.StartEvict(victim)
+	}
+}
+
 // Channel returns the channel to rank, lazily creating the VI and issuing
 // the peer-to-peer request on first use. The caller must treat a !Up channel
 // by parking its send in the FIFO.
@@ -395,11 +637,15 @@ func (m *OnDemand) Channel(rank int) (*Channel, error) {
 	if ch := m.channels[rank]; ch != nil {
 		return ch, nil
 	}
+	m.evictForCap()
 	ch, err := m.newChannel(rank)
 	if err != nil {
 		return nil, err
 	}
-	if err := m.cfg.Port.ConnectPeerRequest(ch.Vi, m.cfg.Addrs[rank], PairDisc(m.cfg.Rank, rank)); err != nil {
+	if m.everUp[rank] {
+		ch.reconnect = m.cfg.Port.Owner().Now()
+	}
+	if err := m.issue(ch, m.cfg.Addrs[rank], PairDisc(m.cfg.Rank, rank)); err != nil {
 		return nil, err
 	}
 	// The via layer may have matched an already-arrived request instantly;
@@ -439,26 +685,40 @@ func (m *OnDemand) Poll() {
 			m.cfg.Port.Reject(req)
 			continue
 		}
-		if m.channels[rank] != nil {
-			// A request from a rank we already initiated to, with a
-			// different request still pending at the via layer, cannot
-			// happen under the canonical pair discriminator: crossing
-			// requests are matched inside via. Seeing a pending request
-			// here with an existing channel means the discriminators
-			// differ — reject it.
+		if ch := m.channels[rank]; ch != nil {
+			if !ch.Up && ch.Vi.State() == via.ViIdle {
+				// Our own attempt was NACKed (fault injection) and sits
+				// between backoff retries; the peer's crossing request IS
+				// the retry — match it directly instead of rejecting, or
+				// both sides NACK each other forever.
+				if err := m.issue(ch, req.From, req.Disc); err != nil {
+					m.cfg.Port.Reject(req)
+				}
+				continue
+			}
+			// Otherwise a request from a rank we already have a channel
+			// for is stale or mismatched (crossing requests under the
+			// canonical discriminator are matched inside via; an evicted
+			// peer's reconnect can also race our unfinished teardown).
+			// Reject it — the peer retries with backoff.
 			m.cfg.Port.Reject(req)
 			continue
 		}
+		m.evictForCap()
 		ch, err := m.newChannel(rank)
 		if err != nil {
 			m.cfg.Port.Reject(req)
 			continue
 		}
+		if m.everUp[rank] {
+			ch.reconnect = m.cfg.Port.Owner().Now()
+		}
 		// Matches the pending incoming request immediately.
-		if err := m.cfg.Port.ConnectPeerRequest(ch.Vi, req.From, req.Disc); err != nil {
+		if err := m.issue(ch, req.From, req.Disc); err != nil {
 			m.cfg.Port.Reject(req) // consume it; never spin on a bad request
 		}
 	}
+	m.progressHandshakes()
 	m.promoteConnected()
 }
 

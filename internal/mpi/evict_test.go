@@ -1,0 +1,184 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"viampi/internal/obs"
+	"viampi/internal/simnet"
+	"viampi/internal/via"
+)
+
+// TestEvictionFIFOOrder runs a phased shift pattern under a VI cap far below
+// N-1: every phase talks to a fresh peer, so channels are continually
+// evicted and re-established. Message payloads encode (src, phase, iter) and
+// receivers verify them exactly — any reordering or loss across an
+// evict→reconnect cycle fails loudly. The collector counters prove the cap
+// actually forced evictions and reconnects rather than the test passing
+// vacuously.
+func TestEvictionFIFOOrder(t *testing.T) {
+	const (
+		n      = 6
+		maxVIs = 2
+		phases = n - 1
+		iters  = 5
+	)
+	bus := obs.NewBus()
+	reg := obs.NewRegistry()
+	obs.NewCollector(reg).Attach(bus)
+	cfg := Config{Procs: n, Policy: "ondemand", MaxVIs: maxVIs,
+		Deadline: 120 * simnet.Second, Seed: 7, Obs: bus}
+	_, err := Run(cfg, func(r *Rank) {
+		c := r.World()
+		me := r.Rank()
+		buf := make([]byte, 12)
+		out := make([]byte, 12)
+		for ph := 1; ph <= phases; ph++ {
+			dst := (me + ph) % n
+			src := (me - ph + n) % n
+			for i := 0; i < iters; i++ {
+				binary.LittleEndian.PutUint32(out[0:], uint32(me))
+				binary.LittleEndian.PutUint32(out[4:], uint32(ph))
+				binary.LittleEndian.PutUint32(out[8:], uint32(i))
+				if _, err := c.Sendrecv(dst, ph, out, src, ph, buf); err != nil {
+					r.Abort(1, err.Error())
+				}
+				gotSrc := int(binary.LittleEndian.Uint32(buf[0:]))
+				gotPh := int(binary.LittleEndian.Uint32(buf[4:]))
+				gotIt := int(binary.LittleEndian.Uint32(buf[8:]))
+				if gotSrc != src || gotPh != ph || gotIt != i {
+					r.Abort(1, fmt.Sprintf("rank %d phase %d iter %d: got (%d,%d,%d)",
+						me, ph, i, gotSrc, gotPh, gotIt))
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev := reg.Counter("conn.evictions"); ev == 0 {
+		t.Error("no evictions recorded: cap never engaged")
+	}
+	if rc := reg.Counter("events.conn.reconnect"); rc == 0 {
+		t.Error("no reconnects recorded: eviction never round-tripped")
+	}
+}
+
+// TestEvictionRandomProgramEquivalence requires the random program suite to
+// produce bit-identical per-rank checksums with and without a VI cap: the
+// eviction/reconnect machinery must be invisible to MPI semantics.
+func TestEvictionRandomProgramEquivalence(t *testing.T) {
+	const n = 6
+	for seed := int64(1); seed <= 3; seed++ {
+		prog := randProgram(seed, n)
+		run := func(cap int) [][]byte {
+			results := make([][]byte, n)
+			cfg := Config{Procs: n, Policy: "ondemand", MaxVIs: cap,
+				Deadline: 120 * simnet.Second, Seed: seed}
+			if _, err := Run(cfg, func(r *Rank) { results[r.Rank()] = prog(r) }); err != nil {
+				t.Fatalf("seed %d cap %d: %v", seed, cap, err)
+			}
+			return results
+		}
+		uncapped, capped := run(0), run(3)
+		for rk := range uncapped {
+			if !bytes.Equal(uncapped[rk], capped[rk]) {
+				t.Fatalf("seed %d: rank %d differs under MaxVIs=3", seed, rk)
+			}
+		}
+	}
+}
+
+// TestFaultMatrix replays the random program suite under injected
+// connection-establishment faults — drops, NACK refusals, delays, and all
+// three combined — across every connection policy, requiring per-rank
+// checksums identical to the fault-free reference. Establishment retries
+// must heal every fault without losing or reordering a single parked send.
+func TestFaultMatrix(t *testing.T) {
+	const n = 6
+	plans := []struct {
+		name string
+		plan func() *via.FaultPlan
+	}{
+		{"drop", func() *via.FaultPlan { return &via.FaultPlan{DropConnReq: 0.3} }},
+		{"refuse", func() *via.FaultPlan { return &via.FaultPlan{RefuseConnReq: 0.3} }},
+		{"delay", func() *via.FaultPlan {
+			return &via.FaultPlan{DelayConnReq: 0.5, ConnReqDelay: 300 * simnet.Microsecond}
+		}},
+		{"combined", func() *via.FaultPlan {
+			return &via.FaultPlan{DropConnReq: 0.2, RefuseConnReq: 0.2,
+				DelayConnReq: 0.3, ConnReqDelay: 200 * simnet.Microsecond}
+		}},
+	}
+	for seed := int64(1); seed <= 2; seed++ {
+		prog := randProgram(seed, n)
+		for _, pol := range []string{"static-cs", "static-p2p", "ondemand"} {
+			ref := make([][]byte, n)
+			cfg := Config{Procs: n, Policy: pol, Deadline: 120 * simnet.Second, Seed: seed}
+			if _, err := Run(cfg, func(r *Rank) { ref[r.Rank()] = prog(r) }); err != nil {
+				t.Fatalf("seed %d %s fault-free: %v", seed, pol, err)
+			}
+			for _, pl := range plans {
+				results := make([][]byte, n)
+				fcfg := Config{Procs: n, Policy: pol, Deadline: 120 * simnet.Second,
+					Seed: seed, Faults: pl.plan()}
+				if _, err := Run(fcfg, func(r *Rank) { results[r.Rank()] = prog(r) }); err != nil {
+					t.Fatalf("seed %d %s %s: %v", seed, pol, pl.name, err)
+				}
+				for rk := range results {
+					if !bytes.Equal(ref[rk], results[rk]) {
+						t.Fatalf("seed %d %s %s: rank %d checksum differs from fault-free run",
+							seed, pol, pl.name, rk)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFaultRetrySucceeds pins the NACK-then-retry path directly: the target
+// endpoint refuses all connections during a window covering the first
+// attempt, so establishment succeeds only through timeout/backoff retry.
+func TestFaultRetrySucceeds(t *testing.T) {
+	bus := obs.NewBus()
+	reg := obs.NewRegistry()
+	obs.NewCollector(reg).Attach(bus)
+	plan := &via.FaultPlan{Unavailable: []via.FaultWindow{
+		{Ep: 1, From: 0, To: simnet.Time(5 * simnet.Millisecond)},
+	}}
+	msg := []byte("made it through the outage")
+	cfg := Config{Procs: 2, Policy: "ondemand", Faults: plan,
+		Deadline: 120 * simnet.Second, Seed: 3, Obs: bus}
+	world, err := Run(cfg, func(r *Rank) {
+		c := r.World()
+		if r.Rank() == 0 {
+			if err := c.Send(1, 9, msg); err != nil {
+				r.Abort(1, err.Error())
+			}
+		} else {
+			// Stay out of MPI until the outage ends: posting the receive
+			// earlier would initiate a reverse connection from the healthy
+			// endpoint and heal the fault without any retry.
+			r.Proc().Sleep(6 * simnet.Millisecond)
+			buf := make([]byte, 64)
+			st, err := c.Recv(buf, 0, 9)
+			if err != nil {
+				r.Abort(1, err.Error())
+			}
+			if !bytes.Equal(buf[:st.Count], msg) {
+				r.Abort(1, "payload corrupted across retries")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if world.Net.ConnReqsRefused == 0 {
+		t.Error("no refusals recorded: the unavailability window never engaged")
+	}
+	if reg.Counter("conn.retries") == 0 {
+		t.Error("no retries recorded: establishment should have needed at least one")
+	}
+}

@@ -71,6 +71,23 @@ type Config struct {
 	// (default 4, the minimum the credit-reservation rule needs).
 	InitialCredits int
 
+	// MaxVIs caps the VI connections each rank keeps live (0 = unlimited,
+	// the paper's behaviour). Only meaningful under the "ondemand" policy:
+	// crossing the cap gracefully evicts the least-recently-used idle
+	// channel and re-establishes it transparently on next use. The cap is
+	// soft — when no channel is quiescent the new connection proceeds.
+	MaxVIs int
+
+	// Faults injects deterministic connection-establishment faults (drops,
+	// delays, NACKs, unavailability windows); see via.FaultPlan. Setting it
+	// defaults ConnTimeout to 2 ms so dropped requests are retried.
+	Faults *via.FaultPlan
+	// ConnTimeout bounds one connection attempt before it is cancelled and
+	// retried with backoff; 0 arms no timers (the default — timing-neutral
+	// for fault-free runs). ConnRetries caps attempts (default 8).
+	ConnTimeout simnet.Duration
+	ConnRetries int
+
 	Seed     int64
 	Deadline simnet.Duration // abort guard on virtual time; 0 = none
 
@@ -141,6 +158,15 @@ func (c *Config) normalize() (fabric.Config, error) {
 	if c.DynamicCredits && (c.InitialCredits < 4 || c.InitialCredits > c.CreditCount) {
 		return fabric.Config{}, fmt.Errorf("mpi: InitialCredits %d outside [4, CreditCount=%d]",
 			c.InitialCredits, c.CreditCount)
+	}
+	if c.MaxVIs < 0 {
+		return fabric.Config{}, fmt.Errorf("mpi: MaxVIs must be non-negative, got %d", c.MaxVIs)
+	}
+	if c.MaxVIs != 0 && c.Policy != "ondemand" {
+		return fabric.Config{}, fmt.Errorf("mpi: MaxVIs requires the ondemand policy, got %q", c.Policy)
+	}
+	if c.Faults != nil && c.ConnTimeout == 0 {
+		c.ConnTimeout = 2 * simnet.Millisecond
 	}
 	var fcfg fabric.Config
 	switch c.Placement {
@@ -299,6 +325,12 @@ func Run(cfg Config, main func(r *Rank)) (*World, error) {
 		cfg.Trace.Attach(bus)
 	}
 	net := via.NewNetwork(sim, fcfg, cfg.cost)
+	if cfg.Faults != nil {
+		if cfg.Faults.Seed == 0 {
+			cfg.Faults.Seed = cfg.Seed
+		}
+		net.SetFaults(cfg.Faults)
+	}
 
 	n := cfg.Procs
 	world := &World{Cfg: cfg, Ranks: make([]RankStats, n), Net: net}
@@ -354,6 +386,11 @@ func Run(cfg Config, main func(r *Rank)) (*World, error) {
 				NewVi:          func() (*via.VI, error) { return port.CreateViCQ(r.cq) },
 				PrepareChannel: r.prepareChannel,
 				OnChannelUp:    r.onChannelUp,
+				MaxVIs:         cfg.MaxVIs,
+				CanEvict:       r.canEvict,
+				StartEvict:     r.startEvict,
+				ConnTimeout:    cfg.ConnTimeout,
+				ConnRetryMax:   cfg.ConnRetries,
 			}
 			mgr, err := core.NewManager(cfg.Policy, mcfg)
 			if err != nil {
@@ -485,7 +522,7 @@ func (r *Rank) finalize() {
 			}
 		}
 		for _, cs := range r.active {
-			if len(cs.flowQ) > 0 || cs.ch.Parked() > 0 {
+			if len(cs.flowQ) > 0 || cs.ch.Parked() > 0 || cs.closing || len(cs.pendingClose) > 0 {
 				return false
 			}
 		}

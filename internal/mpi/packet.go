@@ -12,6 +12,14 @@ const (
 	pktCts                    // rendezvous clear-to-send (carries the RDMA key)
 	pktFin                    // rendezvous finished (data has been RDMA-written)
 	pktCredit                 // explicit flow-control credit return
+
+	// Graceful channel teardown (VI-cap eviction). BYE asks the peer to
+	// quiesce and acknowledge; ACK confirms both sides are drained and the
+	// sender may close the VI; NACK refuses (the peer has traffic in
+	// flight) and the would-be evictor abandons the eviction.
+	pktBye
+	pktByeAck
+	pktByeNack
 )
 
 func pktKindString(k byte) string {
@@ -26,6 +34,12 @@ func pktKindString(k byte) string {
 		return "fin"
 	case pktCredit:
 		return "credit"
+	case pktBye:
+		return "bye"
+	case pktByeAck:
+		return "bye-ack"
+	case pktByeNack:
+		return "bye-nack"
 	default:
 		return fmt.Sprintf("pkt(%d)", k)
 	}

@@ -108,6 +108,7 @@ func (c *Comm) isendCtx(mode SendMode, dst, tag int, data []byte, ctx int32) (*R
 	r.nextReq++
 	id := r.nextReq
 	r.sendReqs[id] = req
+	cs.pendingRdv++
 	r.post(cs, &pkt{hdr: hdr{kind: pktRts, srcRank: int32(c.myrank), tag: int32(tag),
 		ctx: ctx, size: int32(len(data)), sreq: id}})
 	return req, nil
@@ -177,6 +178,9 @@ func (r *Rank) matchUMQ(req *Request) *umsg {
 	for i, u := range r.umq {
 		if matches(req, u.h) {
 			r.umq = append(r.umq[:i], r.umq[i+1:]...)
+			if u.cs != nil && u.h.kind == pktRts {
+				u.cs.umqRefs-- // self-send/eager entries never touch cs again
+			}
 			return u
 		}
 	}

@@ -19,6 +19,15 @@ type chanState struct {
 	posted    int // receive buffers in our local pool (grows when dynamic)
 	flowQ     []*pkt
 	userSends int64 // application messages addressed to this peer
+
+	memHandles []via.MemHandle // eager-pool registrations, released at teardown
+
+	// Graceful-teardown state (VI-cap eviction / remote disconnect).
+	closing      bool   // BYE handshake in progress; new sends are held
+	evict        bool   // we initiated the BYE (cap eviction)
+	pendingClose []*pkt // packets held while closing, re-posted after
+	pendingRdv   int    // rendezvous handshakes in flight on this channel
+	umqRefs      int    // unexpected RTS entries still referencing this channel
 }
 
 // pkt is an outbound packet, possibly parked awaiting credits.
@@ -183,10 +192,12 @@ func (r *Rank) prepareChannel(ch *core.Channel) {
 // growPool registers and pre-posts n more eager receive buffers on cs.
 func (r *Rank) growPool(cs *chanState, n int) {
 	bufSize := r.cfg.eagerBufSize()
-	if _, err := r.port.Memory().Register(int64(bufSize * n)); err != nil {
+	h, err := r.port.Memory().Register(int64(bufSize * n))
+	if err != nil {
 		r.proc.Sim().Failf("mpi: rank %d cannot pin eager pool for peer %d: %v", r.rank, cs.peer, err)
 		return
 	}
+	cs.memHandles = append(cs.memHandles, h)
 	for i := 0; i < n; i++ {
 		d := &via.Descriptor{Buf: make([]byte, bufSize)}
 		if err := cs.ch.Vi.PostRecv(d); err != nil {
@@ -216,7 +227,87 @@ func (r *Rank) channel(peer int) (*chanState, error) {
 	if err != nil {
 		return nil, err
 	}
+	ch.Touch(r.proc.Now())
 	return ch.UserData.(*chanState), nil
+}
+
+// ---------------------------------------------------------------------------
+// Graceful teardown (VI-cap eviction and remote disconnect)
+
+// canEvict reports whether ch is quiescent enough to evict gracefully: no
+// parked, queued or held traffic, no rendezvous mid-flight, no unexpected
+// RTS still referencing the channel, an empty VIA send queue, and enough
+// credits to send BYE while keeping the reserved credit.
+func (r *Rank) canEvict(ch *core.Channel) bool {
+	cs, _ := ch.UserData.(*chanState)
+	return cs != nil && ch.Up && !cs.closing &&
+		ch.Parked() == 0 && len(cs.flowQ) == 0 && len(cs.pendingClose) == 0 &&
+		cs.pendingRdv == 0 && cs.umqRefs == 0 &&
+		cs.credits >= 2 && ch.Vi.SendQueueLen() == 0
+}
+
+// startEvict opens the teardown handshake for a cap eviction.
+func (r *Rank) startEvict(ch *core.Channel) {
+	cs := ch.UserData.(*chanState)
+	cs.closing, cs.evict = true, true
+	r.emit(cs, &pkt{hdr: hdr{kind: pktBye, srcRank: int32(r.rank)}})
+}
+
+// quiescent is the responder-side check for accepting a peer's BYE: the
+// same drain conditions, but only one credit is needed (for the ACK — this
+// channel is about to die, so the reservation rule no longer applies).
+func (r *Rank) quiescent(cs *chanState) bool {
+	return cs.ch.Parked() == 0 && len(cs.flowQ) == 0 && len(cs.pendingClose) == 0 &&
+		cs.pendingRdv == 0 && cs.umqRefs == 0 &&
+		cs.credits >= 1 && cs.ch.Vi.SendQueueLen() == 0
+}
+
+// teardownChannel dismantles a drained channel: close the VI (sending DISC),
+// release the eager pool's pinned memory, forget the channel in both the MPI
+// tables and the connection manager, and re-post any sends that arrived
+// during the handshake on a fresh connection.
+func (r *Rank) teardownChannel(cs *chanState) {
+	held := cs.pendingClose
+	cs.pendingClose = nil
+	cs.closing = false
+	delete(r.viToChan, cs.ch.Vi)
+	r.chans[cs.peer] = nil
+	for i, c := range r.active {
+		if c == cs {
+			r.active = append(r.active[:i], r.active[i+1:]...)
+			break
+		}
+	}
+	cs.ch.Vi.Close()
+	for _, h := range cs.memHandles {
+		if err := r.port.Memory().Deregister(h); err != nil {
+			r.proc.Sim().Failf("mpi: rank %d release eager pool for %d: %v", r.rank, cs.peer, err)
+		}
+	}
+	cs.memHandles = nil
+	r.obsGauge("pinned_bytes", r.port.Memory().Pinned())
+	r.mgr.ReleaseChannel(cs.peer)
+	if len(held) > 0 {
+		ncs, err := r.channel(cs.peer)
+		if err != nil {
+			r.proc.Sim().Failf("mpi: rank %d reconnect to %d: %v", r.rank, cs.peer, err)
+			return
+		}
+		for _, p := range held {
+			r.post(ncs, p)
+		}
+	}
+}
+
+// handleDisconnect adopts a VI the remote side closed. During a BYE
+// handshake (either role) the DISC is the expected final step; outside one,
+// a disconnect with traffic in flight is a protocol violation.
+func (r *Rank) handleDisconnect(cs *chanState) {
+	if !cs.closing && (cs.pendingRdv > 0 || len(cs.flowQ) > 0 || cs.ch.Parked() > 0) {
+		r.proc.Sim().Failf("mpi: rank %d: peer %d disconnected with traffic in flight", r.rank, cs.peer)
+		return
+	}
+	r.teardownChannel(cs)
 }
 
 // ---------------------------------------------------------------------------
@@ -225,6 +316,12 @@ func (r *Rank) channel(peer int) (*chanState, error) {
 // post sends a packet on a channel, parking it in the FIFO if the connection
 // is not up yet, or in the flow queue if credits are exhausted.
 func (r *Rank) post(cs *chanState, p *pkt) {
+	if cs.closing && p.hdr.kind < pktBye {
+		// A BYE handshake is in flight: hold the packet and replay it on
+		// the reconnected channel (or here, if the peer NACKs the BYE).
+		cs.pendingClose = append(cs.pendingClose, p)
+		return
+	}
 	if !cs.ch.Up {
 		if r.cfg.UnsafeNoSendFifo {
 			// Ablation path: post to the unconnected VI and let VIA discard
@@ -322,6 +419,20 @@ func (r *Rank) progress() {
 			r.phases.Add(obs.PhaseProgress, int64(r.proc.Now().Sub(start)))
 		}()
 	}
+	// Adopt remote teardowns before connection progress: a peer's DISC must
+	// release the channel here before its reconnect request (which the
+	// per-pair FIFO guarantees arrives after the DISC) can be accepted.
+	// Collect first — teardownChannel splices r.active.
+	var down []*chanState
+	for _, cs := range r.active {
+		if cs.ch.Vi.State() == via.ViDisconnected {
+			down = append(down, cs)
+		}
+	}
+	for _, cs := range down {
+		r.handleDisconnect(cs)
+	}
+
 	r.mgr.Poll()
 
 	// Reap send completions so VIA queues don't grow without bound. All
@@ -344,8 +455,16 @@ func (r *Rank) progress() {
 		}
 		cs, ok := r.viToChan[vi]
 		if !ok {
-			r.proc.Sim().Failf("mpi: rank %d arrival on unknown VI", r.rank)
-			return
+			// A torn-down channel can leave teardown control frames in the
+			// CQ: with crossing BYEs the peer's BYE and DISC are both
+			// delivered before this drain runs, and the DISC scan removes
+			// the channel first. Quiescence guarantees nothing else can be
+			// in flight — anything but a BYE-family frame here is a bug.
+			if h, _, err := decode(d.Buf[:d.XferLen]); err != nil || h.kind < pktBye {
+				r.proc.Sim().Failf("mpi: rank %d arrival on unknown VI", r.rank)
+				return
+			}
+			continue
 		}
 		if d.Status != via.StatusSuccess {
 			continue // descriptor failed with the connection; ignore
@@ -357,9 +476,11 @@ func (r *Rank) progress() {
 		}
 	}
 
-	// Flow-queue drain and credit returns.
+	// Flow-queue drain and credit returns. Closing channels are skipped:
+	// their flow queue is empty by the quiescence checks, and granting
+	// credits on a dying channel would only race its teardown.
 	for _, cs := range r.chans {
-		if cs == nil || !cs.ch.Up {
+		if cs == nil || !cs.ch.Up || cs.closing {
 			continue
 		}
 		for len(cs.flowQ) > 0 && cs.credits >= r.creditNeed(cs.flowQ[0]) {
@@ -436,6 +557,7 @@ func (r *Rank) handlePacket(cs *chanState, wire []byte) {
 		return
 	}
 	cs.credits += int(h.credits)
+	cs.ch.Touch(r.proc.Now())
 	switch h.kind {
 	case pktEager:
 		r.obsRecv(cs, h)
@@ -452,6 +574,7 @@ func (r *Rank) handlePacket(cs *chanState, wire []byte) {
 			r.acceptRendezvous(req, h, cs)
 		} else {
 			r.umq = append(r.umq, &umsg{h: h, cs: cs})
+			cs.umqRefs++
 			r.obsUnexpected()
 		}
 	case pktCts:
@@ -469,6 +592,7 @@ func (r *Rank) handlePacket(cs *chanState, wire []byte) {
 			return
 		}
 		delete(r.recvReqs, h.rreq)
+		cs.pendingRdv--
 		if err := r.port.ReleaseRdmaTarget(req.rkey, via.MemHandle(req.rmem)); err != nil {
 			r.proc.Sim().Failf("mpi: rank %d release rdma: %v", r.rank, err)
 		}
@@ -478,6 +602,33 @@ func (r *Rank) handlePacket(cs *chanState, wire []byte) {
 		req.complete()
 	case pktCredit:
 		// Credits were already added above; nothing else to do.
+	case pktBye:
+		if cs.closing {
+			// Crossing BYEs: both sides chose each other as victim; each
+			// treats the peer's BYE as the acknowledgement.
+			r.teardownChannel(cs)
+			return
+		}
+		if r.quiescent(cs) {
+			cs.closing = true
+			r.emit(cs, &pkt{hdr: hdr{kind: pktByeAck, srcRank: int32(r.rank)}})
+		} else {
+			r.post(cs, &pkt{hdr: hdr{kind: pktByeNack, srcRank: int32(r.rank)}})
+		}
+	case pktByeAck:
+		// The peer is drained; closing the VI sends the DISC that drives
+		// its own teardown.
+		r.teardownChannel(cs)
+	case pktByeNack:
+		// The peer had traffic in flight: abandon the eviction and release
+		// the sends held during the handshake.
+		cs.closing, cs.evict = false, false
+		cs.ch.Evicting = false
+		held := cs.pendingClose
+		cs.pendingClose = nil
+		for _, p := range held {
+			r.post(cs, p)
+		}
 	default:
 		r.proc.Sim().Failf("mpi: rank %d unknown packet kind %s", r.rank, pktKindString(h.kind))
 	}
@@ -549,6 +700,7 @@ func (r *Rank) acceptRendezvous(req *Request, h hdr, cs *chanState) {
 	r.nextReq++
 	id := r.nextReq
 	r.recvReqs[id] = req
+	cs.pendingRdv++
 	r.post(cs, &pkt{hdr: hdr{
 		kind: pktCts, srcRank: int32(r.rank), ctx: h.ctx,
 		sreq: h.sreq, rreq: id, rkey: key, size: h.size,
@@ -568,7 +720,10 @@ func (r *Rank) rendezvousData(cs *chanState, req *Request, h hdr) {
 			Rank: int32(r.rank), Peer: int32(cs.peer), A: int64(len(req.data))})
 	}
 	r.post(cs, &pkt{
-		hdr:    hdr{kind: pktFin, srcRank: int32(r.rank), ctx: h.ctx, rreq: h.rreq},
-		onEmit: req.complete,
+		hdr: hdr{kind: pktFin, srcRank: int32(r.rank), ctx: h.ctx, rreq: h.rreq},
+		onEmit: func() {
+			cs.pendingRdv--
+			req.complete()
+		},
 	})
 }

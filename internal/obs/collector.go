@@ -13,6 +13,7 @@ type Collector struct {
 	latency   *Histogram
 	connect   *Histogram
 	egress    *Histogram
+	reconn    *Histogram
 }
 
 type msgKey struct {
@@ -43,6 +44,7 @@ func NewCollector(reg *Registry) *Collector {
 	c.latency = reg.Hist("msg.latency_ns", timeBuckets())
 	c.connect = reg.Hist("conn.setup_ns", timeBuckets())
 	c.egress = reg.Hist("frame.egress_wait_ns", timeBuckets())
+	c.reconn = reg.Hist("conn.reconnect_ns", timeBuckets())
 	return c
 }
 
@@ -95,6 +97,14 @@ func (c *Collector) consume(e Event) {
 		c.reg.SetGauge("flowq.depth", e.A)
 	case EvUnexpected:
 		c.reg.SetGauge("umq.depth", e.A)
+	case EvDisconnect:
+		c.reg.Inc("conn.disconnects", 1)
+	case EvEvict:
+		c.reg.Inc("conn.evictions", 1)
+	case EvConnRetry:
+		c.reg.Inc("conn.retries", 1)
+	case EvReconnect:
+		c.reconn.Observe(e.A)
 	case EvGauge:
 		c.reg.SetGauge(e.Name, e.A)
 	}

@@ -60,6 +60,13 @@ const (
 	// EvGauge samples a named quantity at event time. Name = gauge name,
 	// A = value (e.g. pinned bytes, posted descriptors).
 	EvGauge
+
+	// Teardown / reconnect lifecycle (via, core). Appended after EvGauge so
+	// existing exported kind values stay wire-stable.
+	EvDisconnect // remote side closed the connection; Peer = closing endpoint
+	EvEvict      // channel evicted under the VI cap; A = live channels before
+	EvConnRetry  // connection request re-issued; A = attempt number
+	EvReconnect  // channel re-established after teardown; A = latency (ns)
 )
 
 // String returns the kind's wire-stable name (used in exports).
@@ -113,6 +120,14 @@ func (k Kind) String() string {
 		return "call.end"
 	case EvGauge:
 		return "gauge"
+	case EvDisconnect:
+		return "conn.disconnect"
+	case EvEvict:
+		return "conn.evict"
+	case EvConnRetry:
+		return "conn.retry"
+	case EvReconnect:
+		return "conn.reconnect"
 	default:
 		return "unknown"
 	}

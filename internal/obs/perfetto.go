@@ -109,7 +109,8 @@ func writeEvent(pw *perfettoWriter, pid int, e Event) {
 			pid, e.Rank, us(e.T), e.Name, e.Rank, e.A)
 	case EvViCreate, EvConnReject, EvFifoPark, EvFifoDrain,
 		EvEagerSend, EvRts, EvCts, EvRdma, EvFin,
-		EvCreditGrant, EvCreditStall, EvUnexpected:
+		EvCreditGrant, EvCreditStall, EvUnexpected,
+		EvDisconnect, EvEvict, EvConnRetry, EvReconnect:
 		pw.emit(`{"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"cat":"proto","name":%q,"args":{"peer":%d,"a":%d,"b":%d}}`,
 			pid, e.Rank, us(e.T), e.Kind.String(), e.Peer, e.A, e.B)
 	case EvProcStart, EvProcEnd, EvFrameEnqueue, EvFrameDeliver:

@@ -1,0 +1,87 @@
+package via
+
+import "viampi/internal/simnet"
+
+// Connection-establishment fault injection. The paper assumes connection
+// requests always arrive and are always accepted; a production transport
+// cannot. FaultPlan lets a run drop or delay kindConnReq frames, refuse them
+// with NACKs, and declare transient per-endpoint unavailability windows —
+// all as a pure function of (Seed, frame coordinates, virtual time). No
+// random stream is consumed and no state is kept, so injecting faults can
+// never reorder anything else: two runs with the same Config (plan
+// included) remain byte-identical, and the dual-run determinism harness
+// covers a faulted configuration.
+
+// FaultWindow marks endpoint Ep as refusing connections during [From, To):
+// every kindConnReq arriving there in the window is NACKed, modelling a
+// peer that is temporarily not accepting connections.
+type FaultWindow struct {
+	Ep   int
+	From simnet.Time
+	To   simnet.Time
+}
+
+// FaultPlan configures deterministic connection-establishment faults.
+// Probabilities are in [0, 1]; a zero value injects nothing.
+type FaultPlan struct {
+	// Seed decorrelates the plan from other seeded machinery. The mpi
+	// layer defaults it to the run's Config.Seed when left zero.
+	Seed int64
+
+	// DropConnReq is the probability a kindConnReq frame is lost after NIC
+	// transmit service (the NIC accepted it; the wire ate it).
+	DropConnReq float64
+	// DelayConnReq is the probability a kindConnReq is held for
+	// ConnReqDelay before entering the fabric. Delaying only REQ frames is
+	// safe for per-pair FIFO delivery: no data frame can precede
+	// establishment on the pair.
+	DelayConnReq float64
+	ConnReqDelay simnet.Duration
+	// RefuseConnReq is the probability an arriving kindConnReq is answered
+	// with a NACK instead of being queued or matched.
+	RefuseConnReq float64
+	// Unavailable lists transient per-endpoint refusal windows, applied
+	// before the probabilistic refusal roll.
+	Unavailable []FaultWindow
+}
+
+// roll hashes (seed, salt, src, dst, now) into [0, 1) with a
+// splitmix64-style finalizer. Distinct salts decorrelate the drop, delay
+// and refuse decisions for the same frame; the time input makes a retry of
+// the same request re-roll, so transient faults stay transient.
+func (f *FaultPlan) roll(salt, src, dst uint64, now simnet.Time) float64 {
+	x := uint64(f.Seed) ^ (salt * 0x9e3779b97f4a7c15)
+	x += src*0xbf58476d1ce4e5b9 + dst*0x94d049bb133111eb + uint64(now)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// dropReq decides whether a REQ from src to dst leaving now is lost.
+func (f *FaultPlan) dropReq(src, dst int, now simnet.Time) bool {
+	return f.DropConnReq > 0 &&
+		f.roll(1, uint64(src), uint64(dst), now) < f.DropConnReq
+}
+
+// delayReq returns the extra fabric delay for a REQ from src to dst, or 0.
+func (f *FaultPlan) delayReq(src, dst int, now simnet.Time) simnet.Duration {
+	if f.DelayConnReq > 0 && f.ConnReqDelay > 0 &&
+		f.roll(2, uint64(src), uint64(dst), now) < f.DelayConnReq {
+		return f.ConnReqDelay
+	}
+	return 0
+}
+
+// refuseReq decides whether a REQ from src arriving at dst now is NACKed.
+func (f *FaultPlan) refuseReq(src, dst int, now simnet.Time) bool {
+	for _, w := range f.Unavailable {
+		if w.Ep == dst && now.Sub(w.From) >= 0 && now.Sub(w.To) < 0 {
+			return true
+		}
+	}
+	return f.RefuseConnReq > 0 &&
+		f.roll(3, uint64(src), uint64(dst), now) < f.RefuseConnReq
+}

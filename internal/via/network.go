@@ -16,13 +16,23 @@ type Network struct {
 	nodes   []*nodeState
 	ports   []*Port
 
+	faults *FaultPlan
+
 	// DroppedNoDescriptor counts messages that arrived on a VI with no
 	// posted receive descriptor (a flow-control violation in the upper
 	// layer; the VI enters the error state).
 	DroppedNoDescriptor int
 	// DiscardedSends counts sends posted to unconnected VIs.
 	DiscardedSends int
+	// ConnReqsDropped / ConnReqsDelayed / ConnReqsRefused count injected
+	// connection-establishment faults (zero unless a FaultPlan is set).
+	ConnReqsDropped int
+	ConnReqsDelayed int
+	ConnReqsRefused int
 }
+
+// SetFaults installs a deterministic connection-fault plan (nil disables).
+func (n *Network) SetFaults(f *FaultPlan) { n.faults = f }
 
 // nodeState is the per-physical-node NIC service state shared by all ports
 // (processes) on that node.
@@ -127,8 +137,23 @@ func (n *Network) serviceRx(nd int) simnet.Time {
 func (n *Network) sendFrame(p *Port, dstEp int, m *wireMsg, payloadLen int) simnet.Time {
 	txDone := n.serviceTx(p.node)
 	size := payloadLen + n.cost.FrameHeaderBytes
+	var extra simnet.Duration
+	if m.kind == kindConnReq && n.faults != nil {
+		if n.faults.dropReq(p.ep, dstEp, n.sim.Now()) {
+			// The NIC accepted the frame (service time is booked and the
+			// descriptor completes); the wire lost it.
+			n.ConnReqsDropped++
+			return txDone
+		}
+		if d := n.faults.delayReq(p.ep, dstEp, n.sim.Now()); d > 0 {
+			// Per-pair FIFO survives the extra delay: nothing else can be
+			// in flight on this pair before the connection establishes.
+			n.ConnReqsDelayed++
+			extra = d
+		}
+	}
 	n.sim.At(txDone, func() {
-		n.cluster.Send(fabric.Frame{Src: p.ep, Dst: dstEp, Size: size, Payload: m}, 0)
+		n.cluster.Send(fabric.Frame{Src: p.ep, Dst: dstEp, Size: size, Payload: m}, extra)
 	})
 	return txDone
 }

@@ -260,6 +260,31 @@ func (p *Port) ConnectPeerRequest(vi *VI, remote Addr, disc uint64) error {
 	return nil
 }
 
+// CancelConnect abandons an outstanding peer-to-peer connection request:
+// the VI returns to ViIdle with all held handshake state cleared, and the
+// outgoing entry is removed so a late ACK or crossing REQ for the abandoned
+// attempt is ignored. The connection managers' timeout/retry path uses this
+// before re-issuing a request.
+func (p *Port) CancelConnect(vi *VI) error {
+	if vi.port != p {
+		return fmt.Errorf("via: VI belongs to a different port")
+	}
+	if vi.state != ViConnecting {
+		return fmt.Errorf("%w: CancelConnect in state %v", ErrBadState, vi.state)
+	}
+	delete(p.outgoing, connKey{vi.remoteEp, vi.disc})
+	vi.resetHandshake()
+	return nil
+}
+
+// NotifyAfter schedules an activity notification after d, waking the owner
+// if it is blocked in WaitActivity by then. Retry deadlines use this so a
+// parked process re-examines its handshakes when a timeout expires; the
+// sticky activity flag makes a spurious notification harmless.
+func (p *Port) NotifyAfter(d simnet.Duration) {
+	p.net.sim.After(d, p.notifyActivity)
+}
+
 // ConnectPeerWait blocks until vi leaves ViConnecting, with a timeout
 // (negative = infinite). It returns nil once connected.
 func (p *Port) ConnectPeerWait(vi *VI, mode WaitMode, timeout simnet.Duration) error {
@@ -407,6 +432,15 @@ func (p *Port) dispatch(m *wireMsg) {
 	}
 	switch m.kind {
 	case kindConnReq:
+		if f := p.net.faults; f != nil && f.refuseReq(m.srcEp, p.ep, p.net.sim.Now()) {
+			// Injected refusal: the endpoint is (transiently) not accepting
+			// connections; NACK so the initiator's retry machinery engages.
+			p.net.ConnReqsRefused++
+			p.net.sendFrame(p, m.srcEp, &wireMsg{
+				kind: kindConnNack, srcEp: p.ep, disc: m.disc, dstVi: m.srcVi,
+			}, 64)
+			return
+		}
 		key := connKey{m.srcEp, m.disc}
 		if vi, ok := p.outgoing[key]; ok && vi.state == ViConnecting {
 			// Crossing peer requests: both sides establish.
@@ -434,14 +468,18 @@ func (p *Port) dispatch(m *wireMsg) {
 		key := connKey{m.srcEp, m.disc}
 		if vi, ok := p.outgoing[key]; ok && vi.state == ViConnecting {
 			delete(p.outgoing, key)
-			vi.state = ViIdle
-			vi.remoteEp = -1
+			// Full reset: remoteVi, the discriminator and any held
+			// pre-connection frames must all go, or a reused VI could
+			// match a descriptor from the rejected attempt.
+			vi.resetHandshake()
 			p.notifyActivity()
 		}
 	case kindDisc:
 		if vi := p.lookupVi(m.dstVi); vi != nil && vi.state == ViConnected {
 			vi.state = ViDisconnected
 			vi.failPending(StatusDisconnected)
+			p.Obs().Emit(obs.Event{T: p.NowNs(), Kind: obs.EvDisconnect,
+				Rank: int32(p.ep), Peer: int32(m.srcEp)})
 			p.notifyActivity()
 		}
 	case kindData:

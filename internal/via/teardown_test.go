@@ -1,0 +1,273 @@
+package via
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"viampi/internal/simnet"
+)
+
+// Regression: VI.Close must notify port activity like enterError does. A
+// waiter parked in RecvWait would otherwise sleep forever when the VI is
+// closed out from under it (e.g. by a timer-driven teardown) — the sim
+// deadline in pair() turns that hang into a test failure.
+func TestCloseWakesRecvWaiter(t *testing.T) {
+	e := newEnv(2, 1, ClanCost())
+	establishDataPair(t, e,
+		func(p *simnet.Proc, port *Port, vi *VI) {
+			d := &Descriptor{Buf: make([]byte, 64)}
+			if err := vi.PostRecv(d); err != nil {
+				t.Error(err)
+				return
+			}
+			p.Sim().After(simnet.Millisecond, vi.Close)
+			got, err := vi.RecvWait(WaitPoll, -1)
+			switch {
+			case err != nil:
+				if !errors.Is(err, ErrBadState) {
+					t.Errorf("RecvWait err = %v, want ErrBadState", err)
+				}
+			case got.Status != StatusDisconnected:
+				t.Errorf("RecvWait status = %v, want Disconnected", got.Status)
+			}
+		},
+		func(p *simnet.Proc, port *Port, vi *VI) {
+			// Keep the peer alive past the close so its DISC has a target.
+			p.Sleep(2 * simnet.Millisecond)
+		})
+}
+
+// A Close on one side delivers kindDisc: the peer's VI transitions to
+// ViDisconnected and its blocked waiters observe the teardown.
+func TestDiscDelivery(t *testing.T) {
+	e := newEnv(2, 1, ClanCost())
+	establishDataPair(t, e,
+		func(p *simnet.Proc, port *Port, vi *VI) {
+			p.Sleep(100 * simnet.Microsecond)
+			vi.Close()
+			if vi.State() != ViClosed {
+				t.Errorf("closer state = %v, want ViClosed", vi.State())
+			}
+		},
+		func(p *simnet.Proc, port *Port, vi *VI) {
+			d := &Descriptor{Buf: make([]byte, 64)}
+			if err := vi.PostRecv(d); err != nil {
+				t.Error(err)
+				return
+			}
+			got, err := vi.RecvWait(WaitPoll, -1)
+			switch {
+			case err != nil:
+				if !errors.Is(err, ErrBadState) {
+					t.Errorf("RecvWait err = %v, want ErrBadState", err)
+				}
+			case got.Status != StatusDisconnected:
+				t.Errorf("RecvWait status = %v, want Disconnected", got.Status)
+			}
+			if vi.State() != ViDisconnected {
+				t.Errorf("peer state = %v, want ViDisconnected", vi.State())
+			}
+		})
+}
+
+// A NACK must fully reset the initiator's handshake state — remote
+// endpoint, remote VI, discriminator, held frames — so the same VI can be
+// reused for a fresh request (here under a different discriminator) without
+// matching anything stale. Pins the kindConnNack reset audit.
+func TestNackResetThenReuse(t *testing.T) {
+	e := newEnv(2, 1, ClanCost())
+	msg := []byte("after the retry")
+	addrs := make([]Addr, 2)
+	e.pair(t,
+		func(p *simnet.Proc, port *Port) {
+			addrs[0] = port.Addr()
+			p.Sleep(10 * simnet.Microsecond)
+			vi, err := port.CreateVi()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := port.ConnectPeerRequest(vi, addrs[1], 11); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := port.ConnectPeerWait(vi, WaitPoll, -1); err != ErrRejected {
+				t.Errorf("first connect err = %v, want ErrRejected", err)
+				return
+			}
+			if vi.State() != ViIdle {
+				t.Errorf("post-NACK state = %v, want ViIdle", vi.State())
+			}
+			// Reuse the same VI under a different discriminator.
+			if err := port.ConnectPeerRequest(vi, addrs[1], 22); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := port.ConnectPeerWait(vi, WaitPoll, -1); err != nil {
+				t.Error(err)
+				return
+			}
+			d := &Descriptor{Buf: make([]byte, 64)}
+			if err := vi.PostRecv(d); err != nil {
+				t.Error(err)
+				return
+			}
+			got, err := vi.RecvWait(WaitPoll, -1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(got.Buf[:got.XferLen], msg) {
+				t.Errorf("received %q, want %q", got.Buf[:got.XferLen], msg)
+			}
+		},
+		func(p *simnet.Proc, port *Port) {
+			addrs[1] = port.Addr()
+			// Refuse the first request, accept the second.
+			for len(port.PendingPeerRequests()) == 0 {
+				port.WaitActivity(WaitPoll)
+			}
+			req := port.PendingPeerRequests()[0]
+			if req.Disc != 11 {
+				t.Errorf("first disc = %d, want 11", req.Disc)
+			}
+			port.Reject(req)
+			for len(port.PendingPeerRequests()) == 0 {
+				port.WaitActivity(WaitPoll)
+			}
+			req = port.PendingPeerRequests()[0]
+			if req.Disc != 22 {
+				t.Errorf("second disc = %d, want 22", req.Disc)
+			}
+			vi, err := port.CreateVi()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := port.ConnectPeerRequest(vi, req.From, req.Disc); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := port.ConnectPeerWait(vi, WaitPoll, -1); err != nil {
+				t.Error(err)
+				return
+			}
+			d := &Descriptor{Buf: append([]byte(nil), msg...), Len: len(msg)}
+			if err := vi.PostSend(d); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := vi.SendWait(WaitPoll, -1); err != nil {
+				t.Error(err)
+			}
+		})
+}
+
+// Close while a fragmented send is still in flight: the local descriptor
+// completes StatusDisconnected, but frames already accepted by the NIC
+// deliver — the peer receives the full message, then the DISC.
+func TestCloseDuringInFlightSend(t *testing.T) {
+	cost := ClanCost()
+	cost.MTU = 1000
+	e := newEnv(2, 1, cost)
+	msg := make([]byte, 8000)
+	for i := range msg {
+		msg[i] = byte(i * 13)
+	}
+	establishDataPair(t, e,
+		func(p *simnet.Proc, port *Port, vi *VI) {
+			d := &Descriptor{Buf: msg, Len: len(msg)}
+			if err := vi.PostSend(d); err != nil {
+				t.Error(err)
+				return
+			}
+			vi.Close()
+			if d.Status != StatusDisconnected {
+				t.Errorf("send status = %v, want Disconnected", d.Status)
+			}
+		},
+		func(p *simnet.Proc, port *Port, vi *VI) {
+			d := &Descriptor{Buf: make([]byte, len(msg))}
+			if err := vi.PostRecv(d); err != nil {
+				t.Error(err)
+				return
+			}
+			got, err := vi.RecvWait(WaitPoll, -1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if got.XferLen != len(msg) || !bytes.Equal(got.Buf[:len(msg)], msg) {
+				t.Error("in-flight message corrupted by sender close")
+			}
+			d2 := &Descriptor{Buf: make([]byte, 64)}
+			if err := vi.PostRecv(d2); err != nil {
+				t.Error(err)
+				return
+			}
+			got2, err := vi.RecvWait(WaitPoll, -1)
+			switch {
+			case err != nil:
+				if !errors.Is(err, ErrBadState) {
+					t.Errorf("post-DISC RecvWait err = %v, want ErrBadState", err)
+				}
+			case got2.Status != StatusDisconnected:
+				t.Errorf("post-DISC status = %v, want Disconnected", got2.Status)
+			}
+			if vi.State() != ViDisconnected {
+				t.Errorf("post-DISC state = %v, want ViDisconnected", vi.State())
+			}
+		})
+}
+
+// CancelConnect abandons an outstanding request: the VI returns to ViIdle
+// and a late ACK for the cancelled attempt cannot resurrect it.
+func TestCancelConnectAbandonsRequest(t *testing.T) {
+	e := newEnv(2, 1, ClanCost())
+	addrs := make([]Addr, 2)
+	e.pair(t,
+		func(p *simnet.Proc, port *Port) {
+			addrs[0] = port.Addr()
+			p.Sleep(10 * simnet.Microsecond)
+			vi, err := port.CreateVi()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := port.ConnectPeerRequest(vi, addrs[1], 33); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := port.CancelConnect(vi); err != nil {
+				t.Error(err)
+				return
+			}
+			if vi.State() != ViIdle {
+				t.Errorf("post-cancel state = %v, want ViIdle", vi.State())
+			}
+			// Give the peer time to (wrongly) match the cancelled request.
+			p.Sleep(time10ms())
+			if vi.State() != ViIdle {
+				t.Errorf("late handshake resurrected cancelled VI: %v", vi.State())
+			}
+		},
+		func(p *simnet.Proc, port *Port) {
+			addrs[1] = port.Addr()
+			// Try to complete the handshake the initiator cancelled.
+			for len(port.PendingPeerRequests()) == 0 {
+				if !port.WaitActivityTimeout(WaitPoll, time10ms()) {
+					return // request never arrived (cancelled before send): fine
+				}
+			}
+			req := port.PendingPeerRequests()[0]
+			vi, err := port.CreateVi()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			_ = port.ConnectPeerRequest(vi, req.From, req.Disc)
+		})
+}
+
+func time10ms() simnet.Duration { return 10 * simnet.Millisecond }

@@ -346,18 +346,40 @@ func (vi *VI) wait(mode WaitMode, timeout simnet.Duration, poll func() *Descript
 	}
 }
 
+// resetHandshake returns a VI to the idle state, clearing every piece of
+// held handshake state — remote endpoint, remote VI, discriminator, and any
+// pre-connection frames from the failed attempt — so a reused VI can never
+// match a stale descriptor or replay data from a connection that never
+// established. Posted receive descriptors survive: the pre-posted eager
+// pool must still be there when the request is re-issued.
+func (vi *VI) resetHandshake() {
+	vi.state = ViIdle
+	vi.remoteEp = -1
+	vi.remoteVi = -1
+	vi.disc = 0
+	vi.preConnQ = nil
+}
+
 // Close disconnects (notifying the peer) and destroys the VI, releasing its
 // NIC slot. Pending descriptors complete with StatusDisconnected.
 func (vi *VI) Close() {
 	if vi.state == ViClosed {
 		return
 	}
-	if vi.state == ViConnected {
+	switch vi.state {
+	case ViConnected:
 		vi.port.net.sendFrame(vi.port, vi.remoteEp, &wireMsg{
 			kind: kindDisc, srcEp: vi.port.ep, srcVi: vi.id, dstVi: vi.remoteVi,
 		}, 32)
+	case ViConnecting:
+		// Abandon the outstanding request so a late ACK or crossing REQ
+		// cannot resurrect a VI that no longer exists.
+		delete(vi.port.outgoing, connKey{vi.remoteEp, vi.disc})
 	}
 	vi.failPending(StatusDisconnected)
 	vi.state = ViClosed
 	vi.port.net.nodes[vi.port.node].openVIs--
+	// Like enterError: a waiter parked in WaitActivity must observe the
+	// descriptors that just failed, or it sleeps forever.
+	vi.port.notifyActivity()
 }
