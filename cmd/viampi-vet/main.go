@@ -6,15 +6,18 @@
 //
 //	viampi-vet [-root dir] [-rules layering,determinism,...] [-json]
 //	viampi-vet -explain <rule>
+//	viampi-vet -list
 //
 // Exit status is 0 when the tree is clean, 1 when violations were found,
-// 2 on usage or load errors. The same analyzers also run inside
-// `go test ./internal/analysis/...` (the selfcheck), so CI cannot drift
-// from what this command reports.
+// 2 on usage or load errors. Output is deterministic: diagnostics are
+// sorted by (file, line, column, rule) in both text and -json modes, and
+// all rendering goes through the analysis package (RenderText/RenderJSON),
+// which the regression tests pin byte-for-byte. The same analyzers also run
+// inside `go test ./internal/analysis/...` (the selfcheck), so CI cannot
+// drift from what this command reports.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,17 +35,16 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, a := range analysis.Analyzers() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
-		}
+		printRules(os.Stdout)
 		return
 	}
 	if *explain != "" {
 		a := analysis.ByName(*explain)
 		if a == nil {
-			fmt.Fprintf(os.Stderr, "viampi-vet: unknown rule %q (try -list)\n", *explain)
-			os.Exit(2)
+			unknownRule(*explain)
 		}
+		// The header line is the same Doc string -list prints, so the two
+		// can never disagree about what a rule does.
 		fmt.Printf("%s — %s\n\n%s\n", a.Name, a.Doc, a.Explain)
 		return
 	}
@@ -60,8 +62,7 @@ func main() {
 		for _, name := range strings.Split(*rules, ",") {
 			a := analysis.ByName(strings.TrimSpace(name))
 			if a == nil {
-				fmt.Fprintf(os.Stderr, "viampi-vet: unknown rule %q (try -list)\n", name)
-				os.Exit(2)
+				unknownRule(name)
 			}
 			selected = append(selected, a)
 		}
@@ -74,27 +75,14 @@ func main() {
 	analysis.SortDiagnostics(ds)
 
 	if *jsonOut {
-		type jsonDiag struct {
-			File    string `json:"file"`
-			Line    int    `json:"line"`
-			Column  int    `json:"column"`
-			Rule    string `json:"rule"`
-			Message string `json:"message"`
-		}
-		out := make([]jsonDiag, 0, len(ds))
-		for _, d := range ds {
-			out = append(out, jsonDiag{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message})
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		out, err := analysis.RenderJSON(ds)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "viampi-vet: %v\n", err)
 			os.Exit(2)
 		}
+		os.Stdout.Write(out)
 	} else {
-		for _, d := range ds {
-			fmt.Println(d)
-		}
+		os.Stdout.WriteString(analysis.RenderText(ds))
 		if len(ds) == 0 {
 			fmt.Printf("viampi-vet: %d packages clean\n", len(mod.Pkgs))
 		}
@@ -102,4 +90,22 @@ func main() {
 	if len(ds) > 0 {
 		os.Exit(1)
 	}
+}
+
+// printRules writes the per-rule one-line summaries (shared with the
+// -explain header via analysis.RuleSummaries).
+func printRules(w *os.File) {
+	for _, line := range analysis.RuleSummaries() {
+		fmt.Fprintln(w, line)
+	}
+}
+
+// unknownRule reports a bad -rules/-explain argument, lists what exists,
+// and exits 2.
+func unknownRule(name string) {
+	fmt.Fprintf(os.Stderr, "viampi-vet: unknown rule %q; available rules:\n", strings.TrimSpace(name))
+	for _, line := range analysis.RuleSummaries() {
+		fmt.Fprintf(os.Stderr, "  %s\n", line)
+	}
+	os.Exit(2)
 }

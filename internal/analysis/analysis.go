@@ -3,12 +3,18 @@
 // strictly-downward package layering, and total determinism of virtual time
 // (a run is a pure function of its Config).
 //
-// Four analyzers ship (see the Analyzers registry): layering checks the
-// import DAG, determinism bans wall-clock/global-rand/goroutines/locks in
-// simulated code, maporder flags order-sensitive iteration over Go maps, and
-// costcharge verifies that hardware-modelling fabric calls charge host CPU
-// cost. Legitimate exceptions live in one place, policy.go, so they are
-// declared in code review rather than scattered as comments.
+// Eight analyzers ship (see the Analyzers registry). Four are syntactic:
+// layering checks the import DAG, determinism bans
+// wall-clock/global-rand/goroutines/locks in simulated code, maporder flags
+// order-sensitive iteration over Go maps, and costcharge verifies that
+// hardware-modelling fabric calls charge host CPU cost. Four are built on
+// the intraprocedural CFG + dataflow framework in cfg.go: exhaustive
+// (switches over closed constant sets handle every member), waitwake
+// (waiter-visible state transitions wake parked waiters on every path),
+// locks (Lock/Unlock pairing and the leaf-lock contract), and hotalloc
+// (policy-annotated hot paths stay allocation-free). Legitimate exceptions
+// live in one place, policy.go, so they are declared in code review rather
+// than scattered as comments.
 //
 // The suite is built only on the standard library (go/ast, go/parser,
 // go/token, go/types); it adds no dependency to the tree it guards. It runs
@@ -54,6 +60,10 @@ func Analyzers() []*Analyzer {
 		DeterminismAnalyzer(),
 		MapOrderAnalyzer(),
 		CostChargeAnalyzer(),
+		ExhaustiveAnalyzer(),
+		WaitWakeAnalyzer(),
+		LocksAnalyzer(),
+		HotAllocAnalyzer(),
 	}
 }
 

@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses a function body from source for CFG construction.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc sentinel()\nfunc f(cond bool, xs []int) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parsing test body: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return fd.Body
+		}
+	}
+	t.Fatal("func f not found")
+	return nil
+}
+
+// blockWithIdent finds the block whose nodes mention the given identifier.
+// The tests mark interesting statements with uniquely-named calls.
+func blockWithIdent(g *cfg, name string) *cfgBlock {
+	for _, b := range g.blocks {
+		for _, n := range b.nodes {
+			found := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				if id, ok := x.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// mustReach asserts reachability of the block containing each named marker.
+func mustReach(t *testing.T, g *cfg, want map[string]bool) {
+	t.Helper()
+	r := g.reachable()
+	for name, reach := range want {
+		b := blockWithIdent(g, name)
+		if b == nil {
+			t.Fatalf("marker %s not placed in any block", name)
+		}
+		if r[b] != reach {
+			t.Errorf("marker %s: reachable=%v, want %v", name, r[b], reach)
+		}
+	}
+}
+
+func TestCFGLinear(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+		a := 1
+		b := a + 1
+		_ = b
+	`))
+	if len(g.entry.nodes) != 3 {
+		t.Errorf("linear body: entry has %d nodes, want 3", len(g.entry.nodes))
+	}
+	if !g.reachable()[g.exit] {
+		t.Error("exit unreachable after straight-line body")
+	}
+}
+
+func TestCFGEarlyReturn(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+		if cond {
+			thenMark()
+			return
+		}
+		afterMark()
+	`))
+	mustReach(t, g, map[string]bool{"thenMark": true, "afterMark": true})
+	if !g.reachable()[g.exit] {
+		t.Error("exit unreachable: both return and fall-off should land there")
+	}
+}
+
+func TestCFGUnconditionalReturn(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+		return
+		deadMark()
+	`))
+	mustReach(t, g, map[string]bool{"deadMark": false})
+}
+
+func TestCFGInfiniteLoopWithoutBreak(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+		for {
+			bodyMark()
+		}
+		afterMark()
+	`))
+	mustReach(t, g, map[string]bool{"bodyMark": true, "afterMark": false})
+	if g.reachable()[g.exit] {
+		t.Error("exit reachable through a cond-less loop with no break")
+	}
+}
+
+func TestCFGLoopBreakAndContinue(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+		for cond {
+			if cond {
+				continueMark()
+				continue
+			}
+			breakMark()
+			break
+		}
+		afterMark()
+	`))
+	mustReach(t, g, map[string]bool{
+		"continueMark": true,
+		"breakMark":    true,
+		"afterMark":    true,
+	})
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+		for range xs {
+			bodyMark()
+		}
+		afterMark()
+	`))
+	// A range loop can run zero times, so both the body and the join are live.
+	mustReach(t, g, map[string]bool{"bodyMark": true, "afterMark": true})
+}
+
+func TestCFGSwitchNoDefault(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+		switch {
+		case cond:
+			caseMark()
+			return
+		}
+		afterMark()
+	`))
+	// No default: the tag can match nothing, so the join stays reachable.
+	mustReach(t, g, map[string]bool{"caseMark": true, "afterMark": true})
+}
+
+func TestCFGSwitchAllReturn(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+		switch {
+		case cond:
+			return
+		default:
+			return
+		}
+		afterMark()
+	`))
+	mustReach(t, g, map[string]bool{"afterMark": false})
+}
+
+func TestCFGFallthrough(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+		switch {
+		case cond:
+			firstMark()
+			fallthrough
+		default:
+			secondMark()
+			return
+		}
+		afterMark()
+	`))
+	// Every clause returns (directly or via fallthrough), and a default
+	// exists, so nothing survives the switch.
+	mustReach(t, g, map[string]bool{
+		"firstMark":  true,
+		"secondMark": true,
+		"afterMark":  false,
+	})
+}
+
+func TestCFGPanicIsTerminal(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+		if cond {
+			panic("boom")
+		}
+		afterMark()
+	`))
+	mustReach(t, g, map[string]bool{"afterMark": true})
+
+	g = buildCFG(parseBody(t, `
+		panic("always")
+		deadMark()
+	`))
+	mustReach(t, g, map[string]bool{"deadMark": false})
+	if g.reachable()[g.exit] {
+		t.Error("exit reachable past an unconditional panic")
+	}
+}
+
+func TestCFGDeferRecorded(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+		defer sentinel()
+		bodyMark()
+	`))
+	found := false
+	r := g.reachable()
+	for _, b := range g.blocks {
+		for _, n := range b.nodes {
+			if _, ok := n.(*ast.DeferStmt); ok && r[b] {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("defer statement not recorded in any reachable block")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+		goto Skip
+		deadMark()
+	Skip:
+		afterMark()
+	`))
+	mustReach(t, g, map[string]bool{"deadMark": false, "afterMark": true})
+}
+
+// TestBlockStatesBranchUnion checks the may-analysis fixpoint: a bit set on
+// one arm of a branch is visible (unioned) after the join, and a bit set in
+// a loop body flows back to the loop head.
+func TestBlockStatesBranchUnion(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+		if cond {
+			setMark()
+		}
+		useMark()
+	`))
+	const bit = uint64(1)
+	states := blockStates(g, 0, func(b *cfgBlock, in uint64) uint64 {
+		if blockWithIdent(g, "setMark") == b {
+			return in | bit
+		}
+		return in
+	})
+	use := blockWithIdent(g, "useMark")
+	if use == nil {
+		t.Fatal("useMark block not found")
+	}
+	// In-state of the join must union the set arm with the unset arm.
+	if states[use]&bit == 0 {
+		t.Error("bit set on one branch arm did not reach the join in-state")
+	}
+
+	g = buildCFG(parseBody(t, `
+		for cond {
+			headMark()
+			setMark()
+		}
+	`))
+	states = blockStates(g, 0, func(b *cfgBlock, in uint64) uint64 {
+		if blockWithIdent(g, "setMark") == b {
+			return in | bit
+		}
+		return in
+	})
+	body := blockWithIdent(g, "headMark")
+	if body == nil {
+		t.Fatal("headMark block not found")
+	}
+	if states[body]&bit == 0 {
+		t.Error("bit set in loop body did not flow around the back edge")
+	}
+}

@@ -37,11 +37,24 @@ func TestFixtureDiagnostics(t *testing.T) {
 		"internal/core/determ.go:15: determinism", // time.Now
 		"internal/core/determ.go:20: determinism", // naked goroutine
 		"internal/core/determ.go:25: determinism", // global rand.Intn
+		"internal/mpi/hotalloc.go:15: hotalloc",   // make on the hot path
+		"internal/mpi/hotalloc.go:17: hotalloc",   // escaping composite literal
+		"internal/mpi/hotalloc.go:19: hotalloc",   // closure literal
+		"internal/mpi/hotalloc.go:21: hotalloc",   // string concatenation
+		"internal/mpi/hotalloc.go:23: hotalloc",   // interface boxing
 		"internal/mpi/maporder.go:9: maporder",    // append of values in map order
 		"internal/mpi/maporder.go:18: maporder",   // keys collected, never sorted
 		"internal/mpi/maporder.go:51: maporder",   // per-entry call
+		"internal/obs/obs.go:17: exhaustive",      // strict String misses EvC despite default
+		"internal/tcpvia/locks.go:8: determinism", // sync import (leaf exemption stripped)
+		"internal/tcpvia/locks.go:10: layering",   // restricted leaf imports a layered package
+		"internal/tcpvia/locks.go:23: locks",      // Lock with no Unlock on the skip path
+		"internal/tcpvia/locks.go:25: locks",      // layered call under the leaf lock
+		"internal/via/enum.go:19: exhaustive",     // ViState switch misses ViClosed
+		"internal/via/enum.go:70: exhaustive",     // wire-kind switch misses kindConnNack
 		"internal/via/via.go:6: layering",         // via imports mpi (upward)
 		"internal/via/via.go:22: costcharge",      // Cluster.Send with no charge
+		"internal/via/waitwake.go:35: waitwake",   // state flips closed, no waker on path
 	}
 	if len(got) != len(want) {
 		t.Fatalf("diagnostic count: got %d, want %d\ngot:\n  %s", len(got), len(want), strings.Join(got, "\n  "))
@@ -61,8 +74,12 @@ func TestFixtureMessagesCiteTheFix(t *testing.T) {
 	wantSubstrings := map[string]string{
 		"determinism": "pure function of its Config",
 		"maporder":    "sort the",
-		"layering":    "DAG flows",
+		"layering":    "standard library or a shared leaf",
 		"costcharge":  "ChargeHost",
+		"exhaustive":  "missing cases",
+		"waitwake":    "notifyActivity",
+		"locks":       "Unlock",
+		"hotalloc":    "hot path",
 	}
 	seen := map[string]bool{}
 	for _, d := range ds {

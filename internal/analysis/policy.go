@@ -60,6 +60,46 @@ type Policy struct {
 	// ChargeExempt lists via/core functions excused from the rule, with
 	// justifications.
 	ChargeExempt map[string]string
+
+	// ExhaustiveStrict lists policy-qualified functions whose switches must
+	// name every enum member even when they carry a default: the default is
+	// a fallback ("unknown"), not a handler, so a new member reaching it is
+	// silent data loss. The value is the reason.
+	ExhaustiveStrict map[string]string
+	// EnumExclude removes sentinel constants (counts, limits) from a
+	// discovered member set, with justifications.
+	EnumExclude map[string]string
+	// TagFields maps a qualified struct field ("internal/via.(wireMsg).kind")
+	// to the anchor constant of its wire-code const block; a switch over the
+	// field must cover every constant declared in that block.
+	TagFields map[string]string
+
+	// WaitWakeScope lists packages whose state machines have parked waiters
+	// (the VIA provider).
+	WaitWakeScope map[string]bool
+	// WaitWakeStates maps qualified state types to the constants a blocked
+	// waiter can NOT observe; assigning any other value is a transition that
+	// owes a wake.
+	WaitWakeStates map[string][]string
+	// WaitWakeWakers are the calls that discharge the wake obligation.
+	WaitWakeWakers map[string]bool
+	// WaitWakeAllow exempts functions whose callers own the wake, with the
+	// argument for why every caller wakes.
+	WaitWakeAllow map[string]string
+
+	// LeafLocks maps qualified mutex fields to the leaf contract they carry:
+	// while one is held, no call may re-enter a layered simulation package.
+	LeafLocks map[string]string
+	// LockExempt excuses functions from the lock-discipline rule entirely,
+	// with justifications.
+	LockExempt map[string]string
+
+	// HotPaths maps policy-qualified functions to the reason they are hot;
+	// their bodies must stay allocation-free (see hotalloc).
+	HotPaths map[string]string
+	// ColdCalls are failure-path callees whose arguments may box: the call
+	// records a failure or aborts the run.
+	ColdCalls map[string]bool
 }
 
 // DefaultPolicy returns the policy for the viampi module — the encoded form
@@ -128,15 +168,88 @@ func DefaultPolicy() *Policy {
 			"internal/via.(Network).open": "boot-time endpoint attach; MPI_Init cost is charged by the connection managers, not port creation",
 			"internal/via.(Port).SendOob": "out-of-band management network (Ethernet/TCP bootstrap); bypasses the NIC by design, §ARCHITECTURE 'never for MPI traffic'",
 		},
+
+		ExhaustiveStrict: map[string]string{
+			"internal/obs.(Kind).String":       "wire-stable export names: a kind falling to \"unknown\" silently corrupts every metrics key and trace label",
+			"internal/obs.writeEvent":          "Perfetto mapper: an unmapped kind vanishes from the timeline without any error",
+			"internal/obs.(Phase).String":      "phase table column names; a phase falling to the fallback breaks the report schema",
+			"internal/via.(Status).String":     "descriptor status names appear in test failures and ErrBadState messages",
+			"internal/via.(ViState).String":    "VI state names appear in test failures and ErrBadState messages",
+			"internal/mpi.pktKindString":       "packet kind names appear in protocol failure messages",
+			"internal/mpi.(SendMode).String":   "send mode names appear in profiles",
+			"internal/tcpvia.(ViState).String": "real-socket twin mirrors via.ViState.String",
+		},
+		EnumExclude: map[string]string{
+			"internal/obs.NumPhases": "count sentinel for array sizing, not a phase any exporter must handle",
+		},
+		TagFields: map[string]string{
+			"internal/via.(wireMsg).kind": "internal/via.kindConnReq",
+			"internal/mpi.(hdr).kind":     "internal/mpi.pktEager",
+		},
+
+		WaitWakeScope: map[string]bool{
+			"internal/via": true,
+		},
+		WaitWakeStates: map[string][]string{
+			// ViConnecting is the in-progress marker a waiter is waiting
+			// *through*, not for; StatusPending likewise marks a descriptor
+			// as not-yet-observable.
+			"internal/via.ViState": {"ViConnecting"},
+			"internal/via.Status":  {"StatusPending"},
+		},
+		WaitWakeWakers: map[string]bool{
+			"internal/via.(Port).notifyActivity": true,
+			"internal/via.(VI).enterError":       true, // wakes internally on every path
+			"internal/via.(VI).Close":            true, // wakes internally on every path
+			"internal/simnet.(Proc).Wake":        true,
+		},
+		WaitWakeAllow: map[string]string{
+			"internal/via.(VI).failPending":    "completion helper with a caller-owned wake: enterError, Close and the DISC dispatch each notify after calling it",
+			"internal/via.(VI).resetHandshake": "NACK/cancel helper: the kindConnNack dispatch path notifies after it, and CancelConnect runs on the owner thread, which cannot be parked while calling it",
+			"internal/via.(VI).PostSend":       "owner-thread entry point: the pre-connection discard completes synchronously for the poster, which by definition is not parked",
+		},
+
+		LeafLocks: map[string]string{
+			"internal/tcpvia.(Manager).metricsMu": "guards the obs metrics registry only; acquired last, released before any node/channel lock or call back into the stack",
+		},
+		LockExempt: map[string]string{},
+
+		HotPaths: map[string]string{
+			"internal/obs.(Bus).Emit":            "nil-bus disabled path runs on every instrumented event; pinned at zero allocations by BenchmarkEmitDisabled",
+			"internal/obs.(Phases).Add":          "called on every progress pass and blocking wait",
+			"internal/mpi.(Rank).progress":       "MPID_DeviceCheck wrapper, entered on every MPI call",
+			"internal/mpi.(Rank).progressStep":   "per-poll channel scan; an allocation here scales with poll count, not traffic",
+			"internal/mpi.(Rank).waitProgress":   "blocking-wait loop around progress",
+			"internal/mpi.(Rank).blockedPhase":   "classifier inside the blocking-wait loop",
+			"internal/mpi.(Rank).obsSend":        "nil-bus emit helper on the send fast path",
+			"internal/mpi.(Rank).obsRecv":        "nil-bus emit helper on the receive fast path",
+			"internal/mpi.(Rank).obsGauge":       "nil-bus emit helper in the progress engine",
+			"internal/mpi.(Rank).obsUnexpected":  "nil-bus emit helper on the unexpected-queue path",
+			"internal/via.(Port).notifyActivity": "runs on every completion and state change",
+			"internal/via.(Port).ChargeHost":     "runs on every post/poll; the cost model itself must cost nothing",
+			"internal/via.(Port).FlushDebt":      "cost-model flush on the block/charge path",
+			"internal/via.(VI).SendDone":         "send-completion poll, called in a drain loop every progress pass",
+			"internal/via.(VI).recvDone":         "receive-completion poll on the wait path",
+			"internal/via.(CQ).Done":             "completion-queue poll, called in a drain loop every progress pass",
+		},
+		ColdCalls: map[string]bool{
+			"internal/simnet.(Sim).Failf": true, // records a failure and kills the run; its fmt args may box
+		},
 	}
 }
 
 // FixturePolicy derives a policy for a fixture module under testdata/: same
 // rule set, empty exception lists, so fixtures exercise the rules raw.
+// Structural configuration (strict functions, tag fields, wakers, leaf
+// locks, hot paths) is kept: the fixture declares types and functions under
+// the same module-relative names the real policy points at.
 func FixturePolicy() *Policy {
 	p := DefaultPolicy()
 	p.DeterminismExempt = map[string]string{}
 	p.MapOrderAllow = map[string]string{}
 	p.ChargeExempt = map[string]string{}
+	p.EnumExclude = map[string]string{}
+	p.WaitWakeAllow = map[string]string{}
+	p.LockExempt = map[string]string{}
 	return p
 }

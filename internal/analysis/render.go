@@ -1,0 +1,57 @@
+package analysis
+
+// render.go is the one place diagnostics become bytes. Both viampi-vet
+// output modes go through here, and rendering is a pure function of the
+// (sorted) diagnostic list — so two identical runs produce byte-identical
+// reports, the same determinism the suite demands of the code it audits.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// RenderText renders diagnostics exactly as the viampi-vet text mode prints
+// them: one "file:line:col: rule: message" line each. Callers sort first
+// (RunAll does; the driver sorts its subset runs).
+func RenderText(ds []Diagnostic) string {
+	var buf bytes.Buffer
+	for _, d := range ds {
+		fmt.Fprintln(&buf, d)
+	}
+	return buf.String()
+}
+
+// RenderJSON renders diagnostics as the -json array (two-space indent,
+// trailing newline).
+func RenderJSON(ds []Diagnostic) ([]byte, error) {
+	type jsonDiag struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Column  int    `json:"column"`
+		Rule    string `json:"rule"`
+		Message string `json:"message"`
+	}
+	out := make([]jsonDiag, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, jsonDiag{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message})
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RuleSummaries returns one "name  doc" line per analyzer in registry
+// order: the single source for -list output, unknown-rule errors and the
+// -explain header, so driver help cannot drift from the analyzer docs.
+func RuleSummaries() []string {
+	var lines []string
+	for _, a := range Analyzers() {
+		lines = append(lines, fmt.Sprintf("%-12s %s", a.Name, a.Doc))
+	}
+	return lines
+}

@@ -1,0 +1,31 @@
+// hotalloc.go is the fixture home of the hot-path allocation cases:
+// Rank.progress is annotated in Policy.HotPaths, so each allocating
+// construct in it is one violation class.
+package mpi
+
+// Rank mirrors the real progress-engine owner.
+type Rank struct {
+	names []string
+	n     int
+}
+
+func sink(v interface{}) {}
+
+func (r *Rank) progress(tag string) {
+	buf := make([]byte, 16) // hotalloc violation: make on the hot path
+	_ = buf
+	p := &Rank{} // hotalloc violation: escaping composite literal
+	_ = p
+	f := func() { r.n++ } // hotalloc violation: closure literal
+	f()
+	msg := "rank:" + tag // hotalloc violation: string concatenation
+	_ = msg
+	sink(r.n) // hotalloc violation: interface boxing
+}
+
+// Cold is not annotated: the same constructs — must NOT flag.
+func Cold(tag string) string {
+	b := make([]byte, 1)
+	_ = b
+	return "cold:" + tag
+}

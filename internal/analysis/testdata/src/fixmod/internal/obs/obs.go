@@ -1,0 +1,35 @@
+// Package obs is the fixture home of the strict-exhaustiveness case: a
+// String method whose default is a fallback, not a handler.
+package obs
+
+// Kind is the fixture event-kind set.
+type Kind uint8
+
+const (
+	EvA Kind = iota + 1
+	EvB
+	EvC
+)
+
+// String misses EvC; its default exists, but the policy lists
+// internal/obs.(Kind).String in ExhaustiveStrict — must flag.
+func (k Kind) String() string {
+	switch k {
+	case EvA:
+		return "a"
+	case EvB:
+		return "b"
+	default:
+		return "unknown"
+	}
+}
+
+// Describe relies on its default legitimately (not strict) — must NOT flag.
+func Describe(k Kind) string {
+	switch k {
+	case EvA:
+		return "first"
+	default:
+		return "other"
+	}
+}

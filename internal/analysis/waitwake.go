@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// waitwake abstract states (bit indices into the dataflow bitset): whether
+// an un-woken transition is pending, and whether a deferred waker is armed
+// (a deferred waker runs at return, after every later transition, so it
+// clears pending at the exit no matter what follows it textually).
+const (
+	wwPending  = 1 << 0
+	wwDeferred = 1 << 1
+	wwStates   = 4
+)
+
+// WaitWakeAnalyzer enforces the wait/wake pairing on the VIA state machine:
+// any function that moves a VI or descriptor into a state a blocked waiter
+// can observe (success, error, disconnect, close) must call a policy-listed
+// waker (Port.notifyActivity) on every CFG path to return.
+func WaitWakeAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "waitwake",
+		Doc:  "waiter-visible state transitions must wake parked waiters on every path",
+		Explain: `docs/ARCHITECTURE.md, "Enforced invariants": the paper's on-demand design
+blocks inside VipRecvWait/WaitActivity until "something observable happened
+on the port" — the waiting process is parked in virtual time and runs again
+only when a completion or state change wakes it. That makes every transition
+into a waiter-visible state (StatusSuccess, StatusDisconnected, ViError,
+ViClosed, ...) half of a contract: the other half is a notifyActivity call on
+the same path, or the waiter sleeps forever and the simulation deadlocks with
+virtual time unable to advance. PR 3 hit exactly this: VI.Close failed
+descriptors but forgot the wake, hanging a parked RecvWait. This rule walks
+every CFG path of every function in the waitwake scope: assigning a
+non-pending value to a via.ViState or via.Status location marks the path
+"owes a wake"; a call to a Policy.WaitWakeWakers function (inline, or
+deferred) discharges it; reaching return still owing is the bug. The check
+is per-function: helpers whose callers own the wake are excused in
+Policy.WaitWakeAllow with the argument for why every caller wakes.`,
+		Run: runWaitWake,
+	}
+}
+
+func runWaitWake(m *Module, p *Policy) []Diagnostic {
+	var ds []Diagnostic
+	for _, pkg := range m.Pkgs {
+		if pkg.Info == nil || !p.WaitWakeScope[pkg.Rel] {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, u := range funcUnits(pkg, file) {
+				if _, allowed := p.WaitWakeAllow[u.name]; allowed {
+					continue
+				}
+				ds = append(ds, checkWaitWake(m, p, pkg, u)...)
+			}
+		}
+	}
+	return ds
+}
+
+func checkWaitWake(m *Module, p *Policy, pkg *Package, u funcUnit) []Diagnostic {
+	// Cheap pre-pass: no transition anywhere in the unit means no contract.
+	trigs := wwTriggers(m, p, pkg, u.body, true)
+	if len(trigs) == 0 {
+		return nil
+	}
+	firstTrigger := trigs[0]
+
+	g := buildCFG(u.body)
+	transfer := func(blk *cfgBlock, in uint64) uint64 {
+		for _, node := range blk.nodes {
+			in = wwTransferNode(m, p, pkg, node, in)
+		}
+		return in
+	}
+	in := blockStates(g, 1<<0, transfer) // entry: nothing pending, no defer
+
+	exitState := in[g.exit]
+	for s := 0; s < wwStates; s++ {
+		if exitState&(1<<s) == 0 {
+			continue
+		}
+		if s&wwPending != 0 && s&wwDeferred == 0 {
+			return []Diagnostic{{
+				Pos:  m.Position(firstTrigger.Pos()),
+				Rule: "waitwake",
+				Message: fmt.Sprintf("%s moves state a blocked waiter observes, but some path returns without a waker call (notifyActivity); a process parked in WaitActivity would sleep forever — wake on every path, or justify the owner in Policy.WaitWakeAllow",
+					u.name),
+			}}
+		}
+	}
+	return nil
+}
+
+// wwTransferNode folds one CFG node into the state set.
+func wwTransferNode(m *Module, p *Policy, pkg *Package, node ast.Node, in uint64) uint64 {
+	// A deferred waker (direct call or a literal containing one) arms the
+	// deferred bit: it will run at return, after any later transition.
+	if def, ok := node.(*ast.DeferStmt); ok {
+		if wwIsWakerCall(m, p, pkg, def.Call) || wwLitContainsWaker(m, p, pkg, def.Call) {
+			return wwApply(in, func(s int) int { return s | wwDeferred })
+		}
+		return in
+	}
+	out := in
+	// Order matters inside a statement only in theory (no statement here
+	// both transitions and wakes); apply triggers, then inline wakers.
+	if len(wwTriggers(m, p, pkg, node, true)) > 0 {
+		out = wwApply(out, func(s int) int { return s | wwPending })
+	}
+	waker := false
+	inspectSkipLits(node, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && wwIsWakerCall(m, p, pkg, call) {
+			waker = true
+		}
+		return true
+	})
+	if waker {
+		out = wwApply(out, func(s int) int { return s &^ wwPending })
+	}
+	return out
+}
+
+func wwApply(set uint64, f func(int) int) uint64 {
+	var out uint64
+	for s := 0; s < wwStates; s++ {
+		if set&(1<<s) != 0 {
+			out |= 1 << f(s)
+		}
+	}
+	return out
+}
+
+// wwTriggers returns the waiter-visible state assignments inside node (not
+// descending into literals — those are separate units). An assignment
+// counts when the LHS is a selector of a Policy.WaitWakeStates type and the
+// RHS is not one of the type's listed non-observable constants; an RHS the
+// analysis cannot resolve to a constant counts (conservative: failPending's
+// parameterized status is a trigger, and is justified in the allowlist).
+func wwTriggers(m *Module, p *Policy, pkg *Package, node ast.Node, all bool) []ast.Node {
+	var triggers []ast.Node
+	inspectSkipLits(node, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			se, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			t := pkg.Info.TypeOf(se)
+			named, ok := t.(*types.Named)
+			if !ok || named.Obj().Pkg() == nil {
+				continue
+			}
+			qual := relQualified(m.Path, named.Obj().Pkg().Path()) + "." + named.Obj().Name()
+			nonObservable, watched := p.WaitWakeStates[qual]
+			if !watched {
+				continue
+			}
+			if len(as.Lhs) == len(as.Rhs) && wwIsNonObservableConst(pkg, as.Rhs[i], nonObservable) {
+				continue
+			}
+			triggers = append(triggers, as)
+			if !all {
+				return false
+			}
+		}
+		return true
+	})
+	return triggers
+}
+
+func wwIsNonObservableConst(pkg *Package, rhs ast.Expr, nonObservable []string) bool {
+	var obj types.Object
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[e.Sel]
+	default:
+		return false
+	}
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return false
+	}
+	for _, name := range nonObservable {
+		if c.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+func wwIsWakerCall(m *Module, p *Policy, pkg *Package, call *ast.CallExpr) bool {
+	obj := calleeObject(pkg.Info, call)
+	if obj == nil {
+		return false
+	}
+	return p.WaitWakeWakers[relQualified(m.Path, objectQualifiedName(obj))]
+}
+
+// wwLitContainsWaker reports whether a deferred `func() { ... }()` literal
+// contains a waker call anywhere in its body.
+func wwLitContainsWaker(m *Module, p *Policy, pkg *Package, call *ast.CallExpr) bool {
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && wwIsWakerCall(m, p, pkg, c) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -347,6 +347,9 @@ func (b *base) progressHandshakes() {
 				}
 				b.scheduleRetry(ch, "timed out")
 			}
+		case via.ViConnected, via.ViError, via.ViDisconnected, via.ViClosed:
+			// Connected channels are promoted by promoteConnected; dead
+			// states are adopted by the MPI teardown scan, not retried here.
 		}
 	}
 }

@@ -411,14 +411,22 @@ func (r *Rank) emit(cs *chanState, p *pkt) {
 // progress makes one non-blocking pass over all communication state: it is
 // MVICH's MPID_DeviceCheck. Connection requests are progressed here too —
 // the paper's "a peer-to-peer connection request can be considered as
-// another type of nonblocking communication request" (§3.3).
+// another type of nonblocking communication request" (§3.3). The wrapper
+// only charges the pass to the progress phase; the pass itself lives in
+// progressStep so the per-poll work stays closure-free (both functions are
+// zero-allocation hot paths, policy.HotPaths).
 func (r *Rank) progress() {
-	if r.phases != nil {
-		start := r.proc.Now()
-		defer func() {
-			r.phases.Add(obs.PhaseProgress, int64(r.proc.Now().Sub(start)))
-		}()
+	if r.phases == nil {
+		r.progressStep()
+		return
 	}
+	start := r.proc.Now()
+	r.progressStep()
+	r.phases.Add(obs.PhaseProgress, int64(r.proc.Now().Sub(start)))
+}
+
+// progressStep is the single device-check pass.
+func (r *Rank) progressStep() {
 	// Adopt remote teardowns before connection progress: a peer's DISC must
 	// release the channel here before its reconnect request (which the
 	// per-pair FIFO guarantees arrives after the DISC) can be accepted.
@@ -504,9 +512,16 @@ func (r *Rank) progress() {
 			// blocked waiting for the peer's credits, the explicit return
 			// must still go out or both sides starve (the last credit is
 			// reserved for exactly this packet).
-			r.emit(cs, &pkt{hdr: hdr{kind: pktCredit, srcRank: int32(r.rank)}})
+			r.sendCreditReturn(cs)
 		}
 	}
+}
+
+// sendCreditReturn emits an explicit credit-return packet. Kept out of
+// progressStep: it fires at most once per pool half-drain, and the packet
+// construction would otherwise be the only allocation on the per-poll path.
+func (r *Rank) sendCreditReturn(cs *chanState) {
+	r.emit(cs, &pkt{hdr: hdr{kind: pktCredit, srcRank: int32(r.rank)}})
 }
 
 // waitProgress blocks until cond holds, interleaving progress with the

@@ -107,5 +107,8 @@ func (c *Collector) consume(e Event) {
 		c.reconn.Observe(e.A)
 	case EvGauge:
 		c.reg.SetGauge(e.Name, e.A)
+	case EvProcStart, EvProcEnd, EvViCreate, EvConnReject, EvRdma,
+		EvFrameDeliver, EvCallBegin, EvCallEnd:
+		// Counted by the generic events.* counter above; no derived metric.
 	}
 }

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// goldenKindNames pins the wire-stable name of every event kind. Adding a
+// kind without extending this table (and the String/consume/writeEvent
+// switches the exhaustive analyzer guards) fails here.
+var goldenKindNames = map[Kind]string{
+	EvProcStart:    "proc.start",
+	EvProcEnd:      "proc.end",
+	EvViCreate:     "vi.create",
+	EvConnRequest:  "conn.request",
+	EvConnAccept:   "conn.accept",
+	EvConnReject:   "conn.reject",
+	EvConnUp:       "conn.up",
+	EvFifoPark:     "fifo.park",
+	EvFifoDrain:    "fifo.drain",
+	EvEagerSend:    "proto.eager",
+	EvRts:          "proto.rts",
+	EvCts:          "proto.cts",
+	EvRdma:         "proto.rdma",
+	EvFin:          "proto.fin",
+	EvCreditGrant:  "credit.grant",
+	EvCreditStall:  "credit.stall",
+	EvUnexpected:   "umq.append",
+	EvFrameEnqueue: "frame.enqueue",
+	EvFrameDeliver: "frame.deliver",
+	EvMsgSend:      "msg.send",
+	EvMsgRecv:      "msg.recv",
+	EvCallBegin:    "call.begin",
+	EvCallEnd:      "call.end",
+	EvGauge:        "gauge",
+	EvDisconnect:   "conn.disconnect",
+	EvEvict:        "conn.evict",
+	EvConnRetry:    "conn.retry",
+	EvReconnect:    "conn.reconnect",
+}
+
+// TestKindStringCoversEveryKind walks the full contiguous kind range and
+// checks every member has a distinct, pinned, non-"unknown" name, and that
+// values outside the range fall back to "unknown".
+func TestKindStringCoversEveryKind(t *testing.T) {
+	if len(goldenKindNames) != int(EvReconnect) {
+		t.Fatalf("golden table has %d names, kind range has %d members", len(goldenKindNames), int(EvReconnect))
+	}
+	seen := map[string]Kind{}
+	for k := EvProcStart; k <= EvReconnect; k++ {
+		name := k.String()
+		if name == "unknown" {
+			t.Errorf("kind %d stringifies to \"unknown\"; backfill the String switch", int(k))
+			continue
+		}
+		if want := goldenKindNames[k]; name != want {
+			t.Errorf("kind %d: String() = %q, want %q", int(k), name, want)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("kinds %d and %d share the name %q", int(prev), int(k), name)
+		}
+		seen[name] = k
+	}
+	if Kind(0).String() != "unknown" {
+		t.Errorf("Kind(0).String() = %q, want \"unknown\"", Kind(0).String())
+	}
+	if out := (EvReconnect + 1).String(); out != "unknown" {
+		t.Errorf("out-of-range kind stringifies to %q, want \"unknown\"", out)
+	}
+}
+
+// perfettoSilentKinds are the kinds writeEvent deliberately drops: process
+// lifetime is implied by the spans, and per-frame events are metrics-only
+// (their volume would drown the timeline).
+var perfettoSilentKinds = map[Kind]bool{
+	EvProcStart:    true,
+	EvProcEnd:      true,
+	EvFrameEnqueue: true,
+	EvFrameDeliver: true,
+}
+
+// TestPerfettoWriteEventCoversEveryKind feeds one event of every kind
+// through the trace exporter and checks each either emits a line or is on
+// the documented silent list — a new kind cannot silently vanish from
+// traces.
+func TestPerfettoWriteEventCoversEveryKind(t *testing.T) {
+	for k := EvProcStart; k <= EvReconnect; k++ {
+		var buf bytes.Buffer
+		pw := &perfettoWriter{w: &buf, first: true}
+		// Peer differs from Rank so EvMsgSend draws its flow arrow.
+		writeEvent(pw, 0, Event{T: 1000, Kind: k, Rank: 1, Peer: 2, Name: "x"})
+		if pw.err != nil {
+			t.Fatalf("kind %s: writeEvent error: %v", k, pw.err)
+		}
+		got := buf.String()
+		if perfettoSilentKinds[k] {
+			if got != "" {
+				t.Errorf("kind %s is on the silent list but emitted %q", k, got)
+			}
+			continue
+		}
+		if got == "" {
+			t.Errorf("kind %s emitted nothing and is not on the documented silent list", k)
+			continue
+		}
+		if !strings.Contains(got, `"ph":`) {
+			t.Errorf("kind %s emitted a line without a trace phase: %q", k, got)
+		}
+	}
+}

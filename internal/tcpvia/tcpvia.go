@@ -705,6 +705,8 @@ func (vi *VI) RecvWait(timeout time.Duration) ([]byte, int, error) {
 			return nil, 0, ErrNoDescriptor
 		case Closed:
 			return nil, 0, ErrClosed
+		case Idle, Connecting, Connected:
+			// Live states: keep waiting for a completion or the deadline.
 		}
 		if time.Now().After(deadline) {
 			return nil, 0, ErrTimeout

@@ -375,6 +375,9 @@ func (vi *VI) Close() {
 		// Abandon the outstanding request so a late ACK or crossing REQ
 		// cannot resurrect a VI that no longer exists.
 		delete(vi.port.outgoing, connKey{vi.remoteEp, vi.disc})
+	case ViIdle, ViError, ViDisconnected, ViClosed:
+		// Nothing on the wire to retract: idle never sent, error/disconnect
+		// already tore the connection down, and closed returned above.
 	}
 	vi.failPending(StatusDisconnected)
 	vi.state = ViClosed
