@@ -1,9 +1,9 @@
 # Single entry point for CI and builders: `make check` is the tier-1 gate.
 GO ?= go
 
-.PHONY: check fmt vet build test race analyze figures bench-snapshot bench-smoke fault-smoke
+.PHONY: check fmt vet build test race analyze figures bench-snapshot bench-smoke bench-sim bench-sim-snapshot bench-sim-smoke fault-smoke
 
-check: fmt vet build test race analyze bench-smoke fault-smoke
+check: fmt vet build test race analyze bench-smoke bench-sim-smoke fault-smoke
 
 # gofmt -l prints offending files; any output is a failure.
 fmt:
@@ -41,6 +41,22 @@ bench-snapshot:
 # Tiny subset proving the snapshot path works; part of `make check`.
 bench-smoke:
 	$(GO) run ./cmd/benchsnap -smoke > /dev/null
+
+# Scheduler-core wall-clock benchmarks: the measurement rail for the
+# zero-allocation event loop. 0 allocs/op on BenchmarkSimCore is an
+# invariant (also enforced statically by the hotalloc analyzer).
+bench-sim:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimCore|BenchmarkPingpongWallClock' -benchmem ./internal/simnet ./
+
+# Scheduler-core snapshot; events/virtual_ns are deterministic, wall fields
+# are machine-dependent (see the note field in the JSON).
+bench-sim-snapshot:
+	$(GO) run ./cmd/benchsnap -simcore -out BENCH_simcore.json
+
+# Millisecond-scale pass over the simcore rail; part of `make check`.
+bench-sim-smoke:
+	$(GO) run ./cmd/benchsnap -simcore -smoke > /dev/null
+	$(GO) test -run '^$$' -bench BenchmarkSimCore -benchtime 1000x ./internal/simnet > /dev/null
 
 # Connection-fault matrix and eviction round-trip, run uncached: the fault
 # injector and the VI-cap evictor must heal every run without losing or

@@ -278,6 +278,20 @@ func BenchmarkNPBKernels(b *testing.B) {
 	}
 }
 
+// BenchmarkPingpongWallClock measures the real (host) time one full
+// simulated ping-pong run costs — the wall-clock rail for the scheduler
+// hot path. Virtual-time results are pinned elsewhere (BENCH_micro.json);
+// this benchmark exists so a scheduler change that alters only wall-clock
+// cost still shows up in `go test -bench`.
+func BenchmarkPingpongWallClock(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Pingpong("clan", bench.OnDemand, 8, 50, 0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulator event throughput via a
 // dense all-to-all, to track harness overhead itself.
 func BenchmarkSimulatorThroughput(b *testing.B) {

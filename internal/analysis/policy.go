@@ -135,6 +135,7 @@ func DefaultPolicy() *Policy {
 			"internal/tcpvia":   "real-socket twin of internal/via; wall-clock deadlines and goroutines are its job",
 			"examples/tcpring":  "drives internal/tcpvia over real TCP; measures wall time by design",
 			"internal/analysis": "static-analysis tooling; never on a simulation path",
+			"cmd/benchsnap":     "wall-clock rail for BENCH_simcore.json; the virtual-time snapshot it also emits is pinned byte-stable by make check",
 		},
 		GoStmtAllowed: map[string]bool{
 			"internal/simnet": true,
@@ -231,6 +232,20 @@ func DefaultPolicy() *Policy {
 			"internal/via.(VI).SendDone":         "send-completion poll, called in a drain loop every progress pass",
 			"internal/via.(VI).recvDone":         "receive-completion poll on the wait path",
 			"internal/via.(CQ).Done":             "completion-queue poll, called in a drain loop every progress pass",
+			// The simnet scheduler substrate: every virtual event in every
+			// figure passes through these, so the zero-alloc property the
+			// BenchmarkSimCore rail measures is locked in statically here.
+			"internal/simnet.(Sim).loop":         "the event loop itself; pops, dispatches, and context-switches once per simulated event",
+			"internal/simnet.(Sim).schedule":     "event admission: every timer, wake, and callback passes through",
+			"internal/simnet.(Sim).heapPush":     "4-ary heap insert on the scheduling path",
+			"internal/simnet.(Sim).heapPop":      "4-ary heap extract on the dispatch path",
+			"internal/simnet.(eventRing).push":   "same-instant FIFO admission (the Wake/Yield fast path)",
+			"internal/simnet.(eventRing).pop":    "same-instant FIFO extract",
+			"internal/simnet.(Proc).park":        "context switch out of a process; runs on every blocking primitive",
+			"internal/simnet.(Proc).Sleep":       "timer-wake arm + park; the single hottest primitive in the stack",
+			"internal/simnet.(Proc).Compute":     "CPU-cost charge: timer-wake arm + park",
+			"internal/simnet.(Proc).ParkTimeout": "timeout-wake arm + park on the progress-wait path",
+			"internal/simnet.(Proc).WakeAfter":   "cross-process wake scheduling; runs on every completion notify",
 		},
 		ColdCalls: map[string]bool{
 			"internal/simnet.(Sim).Failf": true, // records a failure and kills the run; its fmt args may box

@@ -48,6 +48,74 @@ func TestViHardLimitStaticFailsOnDemandRuns(t *testing.T) {
 	}
 }
 
+// TestViHardLimit64Ranks extends the sweep to 64 ranks — the largest
+// cluster size in the paper's scaling discussion. The static mesh would
+// need 63 VIs per port; a 16-VI NIC supports an on-demand ring (2
+// neighbours) and an on-demand 8-ary hypercube-style exchange (6 partners)
+// at n=64 without ever crossing the limit. The zero-allocation scheduler
+// rewrite makes this size cheap enough for the tier-1 suite (64 ranks ≈
+// 130k events in well under a second of wall time; see EXPERIMENTS.md).
+func TestViHardLimit64Ranks(t *testing.T) {
+	const n = 64
+	limit := func(c *via.CostModel) { c.MaxVIsPerPort = 16 } // ≪ N-1 = 63
+
+	ring := func(r *Rank) {
+		c := r.World()
+		me := c.Rank()
+		out := []byte{byte(me)}
+		in := make([]byte, 4)
+		if _, err := c.Sendrecv((me+1)%n, 0, out, (me+n-1)%n, 0, in); err != nil {
+			t.Error(err)
+		}
+	}
+
+	static := Config{Procs: n, Policy: "static-p2p", TuneCost: limit,
+		Deadline: 120 * simnet.Second}
+	if _, err := Run(static, ring); err == nil {
+		t.Fatal("static init must fail at 64 ranks on a 16-VI NIC")
+	} else if !strings.Contains(err.Error(), "VI limit") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	ondemand := Config{Procs: n, Policy: "ondemand", TuneCost: limit,
+		Deadline: 120 * simnet.Second}
+	w, err := Run(ondemand, ring)
+	if err != nil {
+		t.Fatalf("on-demand 64-rank ring must run under a 16-VI limit: %v", err)
+	}
+	for _, rs := range w.Ranks {
+		if rs.VisCreated > 2 {
+			t.Fatalf("rank %d created %d VIs for a 2-neighbour ring", rs.Rank, rs.VisCreated)
+		}
+	}
+
+	// Six-partner exchange (the hypercube dimension count at n=64): still
+	// well under the 16-VI NIC limit with on-demand, per-rank footprint
+	// tracks the real partner set, not N-1.
+	cube := Config{Procs: n, Policy: "ondemand", TuneCost: limit,
+		Deadline: 120 * simnet.Second}
+	w, err = Run(cube, func(r *Rank) {
+		c := r.World()
+		me := c.Rank()
+		in := make([]byte, 4)
+		for d := 0; d < 6; d++ {
+			peer := me ^ (1 << d)
+			if _, err := c.Sendrecv(peer, d, []byte{byte(me)}, peer, d, in); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("on-demand 64-rank hypercube exchange: %v", err)
+	}
+	for _, rs := range w.Ranks {
+		if rs.VisCreated > 6 {
+			t.Fatalf("rank %d created %d VIs for a 6-partner exchange", rs.Rank, rs.VisCreated)
+		}
+	}
+}
+
 // TestOnDemandExceedingLimitStillFails: on-demand is not magic — an
 // application that genuinely needs more partners than the NIC supports
 // fails when it crosses the limit, not before.

@@ -8,11 +8,13 @@
 // Compute, Park*); everything else executes in zero virtual time.
 //
 // This package is the substrate for the VIA device models: NIC and wire
-// behaviour is expressed as events, while MPI ranks are processes.
+// behaviour is expressed as events, while MPI ranks are processes. Every
+// paper figure funnels through Sim.Run, so the scheduler hot path (event
+// admission, heap maintenance, dispatch, park) is kept allocation-free in
+// steady state; the viampi-vet hotalloc rule enforces it.
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"runtime/debug"
@@ -65,42 +67,96 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is a scheduled callback. Events with equal timestamps fire in
-// scheduling order (seq), which is what makes runs deterministic.
+// evKind discriminates the scheduler's typed events. The common cases —
+// timer wakes from Sleep/Compute/ParkTimeout/Wake and process starts — carry
+// their parameters in the event value itself and are dispatched in a switch,
+// so the hot path never allocates a closure. Only general At/After callbacks
+// (device models) pay for a func value.
+type evKind uint8
+
+const (
+	evFunc         evKind = iota // run fn (general At/After callback)
+	evTimerWake                  // wake proc if still parked at parkSeq
+	evTimerTimeout               // as evTimerWake, but reports a timeout
+	evProcStart                  // first dispatch of proc (emits EvProcStart)
+)
+
+// event is a scheduled occurrence. Events with equal timestamps fire in
+// scheduling order (seq), which is what makes runs deterministic. Events are
+// plain values: the queues below hold []event, never *event, so scheduling
+// does not allocate per event.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at      Time
+	seq     uint64
+	parkSeq uint64 // evTimerWake/evTimerTimeout: park generation to match
+	proc    *Proc  // evTimerWake/evTimerTimeout/evProcStart
+	fn      func() // evFunc
+	kind    evKind
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether e fires before f: earlier timestamp, or equal
+// timestamp and earlier scheduling order. seq values are unique, so this is
+// a strict total order.
+func (e *event) before(f *event) bool {
+	if e.at != f.at {
+		return e.at < f.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < f.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+// eventRing is a FIFO of events scheduled at the current instant. It is the
+// same-instant fast path: a wake or zero-delay callback admitted while the
+// scheduler is already at its timestamp never touches the heap, and the
+// ring's buffer is reused forever, so steady-state pushes do not allocate.
+// The buffer length is always a power of two (see grow).
+type eventRing struct {
+	buf  []event
+	head int
+	n    int
+}
+
+func (r *eventRing) push(ev event) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = ev
+	r.n++
+}
+
+func (r *eventRing) pop() event {
+	ev := r.buf[r.head]
+	r.buf[r.head] = event{} // release fn/proc for GC
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
 	return ev
+}
+
+// grow doubles the ring (cold path: runs O(log n) times per simulation).
+func (r *eventRing) grow() {
+	nb := make([]event, max(16, 2*len(r.buf)))
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = nb, 0
 }
 
 // Sim is a single-threaded discrete-event simulation.
 // Create one with New, add processes with Spawn, then call Run.
+//
+// The event loop is not pinned to a scheduler goroutine: it migrates onto
+// whichever goroutine currently has control (direct handoff). When a process
+// parks, its own goroutine keeps popping and executing events; if the next
+// wake is its own it simply returns from park with no synchronization at
+// all, and a switch to a different process costs a single buffered channel
+// send. Exactly one goroutine runs at any instant either way.
 type Sim struct {
 	now      Time
 	seq      uint64
-	events   eventHeap
+	heap     []event   // 4-ary min-heap on (at, seq): future events
+	ready    eventRing // FIFO of events at the current instant
 	procs    []*Proc
-	yield    chan struct{} // processes hand control back to the scheduler here
+	done     chan struct{} // signals Run when the loop terminates off-goroutine
+	runErr   error         // Run's result, set where termination is detected
 	running  bool
 	live     int // processes spawned and not yet finished
 	failure  error
@@ -116,9 +172,9 @@ type Sim struct {
 // New creates an empty simulation whose random source is seeded with seed.
 func New(seed int64) *Sim {
 	return &Sim{
-		yield: make(chan struct{}),
-		rng:   rand.New(rand.NewSource(seed)),
-		seed:  seed,
+		done: make(chan struct{}, 1),
+		rng:  rand.New(rand.NewSource(seed)),
+		seed: seed,
 	}
 }
 
@@ -137,18 +193,88 @@ func (s *Sim) SetObs(b *obs.Bus) { s.obsBus = b }
 // emit with s.Obs().Emit(...) — Emit on a nil bus is a no-op.
 func (s *Sim) Obs() *obs.Bus { return s.obsBus }
 
-// SetDeadline aborts Run with an error if virtual time passes t.
-// A zero t removes the deadline.
+// SetDeadline aborts Run with an error if virtual time would pass t: the
+// deadline fires before executing any event scheduled after t, and that
+// event is left unconsumed. An event at exactly t still runs. A zero t
+// removes the deadline.
 func (s *Sim) SetDeadline(t Time) { s.deadline = t }
+
+// schedule admits an event. Events at or before the current instant while
+// the simulation is running go to the ready FIFO (they fire this instant, in
+// seq order, without re-heapifying); future events go to the heap. Ordering
+// stays total because every event already in the heap at the current
+// timestamp was admitted earlier and so carries a smaller seq than anything
+// the ready ring holds.
+func (s *Sim) schedule(ev event) {
+	if ev.at <= s.now {
+		ev.at = s.now // scheduling in the past is clamped to keep time monotonic
+		if s.running {
+			s.ready.push(ev)
+			return
+		}
+	}
+	s.heapPush(ev)
+}
+
+// heapPush inserts ev into the 4-ary min-heap. The slice is reused across
+// pushes, so steady-state inserts do not allocate (growth is amortized).
+func (s *Sim) heapPush(ev event) {
+	h := append(s.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if h[parent].before(&ev) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
+	s.heap = h
+}
+
+// heapPop removes and returns the minimum event.
+func (s *Sim) heapPop() event {
+	h := s.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release fn/proc for GC
+	h = h[:n]
+	s.heap = h
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			m := c
+			for j := c + 1; j < end; j++ {
+				if h[j].before(&h[m]) {
+					m = j
+				}
+			}
+			if !h[m].before(&last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return top
+}
 
 // At schedules fn to run at virtual time t. Scheduling in the past is an
 // error in the caller; it is clamped to now to keep time monotonic.
 func (s *Sim) At(t Time, fn func()) {
-	if t < s.now {
-		t = s.now
-	}
 	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	s.schedule(event{at: t, seq: s.seq, kind: evFunc, fn: fn})
 }
 
 // After schedules fn to run d from now.
@@ -214,7 +340,7 @@ func (s *Sim) Spawn(name string, start Time, fn func(p *Proc)) *Proc {
 		sim:    s,
 		id:     len(s.procs),
 		name:   name,
-		resume: make(chan wake),
+		resume: make(chan wake, 1),
 	}
 	s.procs = append(s.procs, p)
 	s.live++
@@ -229,38 +355,40 @@ func (s *Sim) Spawn(name string, start Time, fn func(p *Proc)) *Proc {
 				Rank: int32(p.id), Peer: -1, Name: p.name})
 			p.finished = true
 			s.live--
-			s.yield <- struct{}{}
+			// This goroutine holds the token; keep the simulation moving
+			// until it hands off or terminates, then exit.
+			if s.loop(nil, nil) == exitDone {
+				s.done <- struct{}{}
+			}
 		}()
 		fn(p)
 	}()
-	s.At(start, func() {
-		s.obsBus.Emit(obs.Event{T: int64(s.now), Kind: obs.EvProcStart,
-			Rank: int32(p.id), Peer: -1, Name: p.name})
-		s.dispatch(p, wake{})
-	})
+	s.seq++
+	s.schedule(event{at: start, seq: s.seq, kind: evProcStart, proc: p})
 	return p
 }
 
-// dispatch transfers control to p and blocks until p parks or finishes.
-// It must be called from scheduler context (inside an event callback).
-func (s *Sim) dispatch(p *Proc, w wake) {
-	if p.finished {
-		return
-	}
-	p.parked = false
-	p.resume <- w
-	<-s.yield
-}
-
-// park blocks the calling process until a wake event dispatches it again.
-// It must be called from process context.
+// park blocks the calling process until a wake event resumes it. It must be
+// called from process context. The parking goroutine keeps running the event
+// loop itself: if the next wake is its own it returns without any channel
+// operation (the same-goroutine fast path), otherwise it hands the token to
+// the woken process and blocks until its own turn comes back.
 func (p *Proc) park() wake {
+	s := p.sim
 	p.parked = true
 	p.parkSeq++
-	start := p.sim.now
-	p.sim.yield <- struct{}{}
-	w := <-p.resume
-	p.idle += p.sim.now.Sub(start)
+	start := s.now
+	var w wake
+	switch s.loop(p, &w) {
+	case exitSelfWake:
+		// w set by loop; the token never left this goroutine.
+	case exitHandoff:
+		w = <-p.resume
+	case exitDone:
+		s.done <- struct{}{}
+		w = <-p.resume // Run returned; resumes only if a later Run wakes us
+	}
+	p.idle += s.now.Sub(start)
 	return w
 }
 
@@ -270,12 +398,9 @@ func (p *Proc) Sleep(d Duration) {
 		d = 0
 	}
 	s := p.sim
-	seq := p.parkSeq + 1
-	s.After(d, func() {
-		if p.parked && p.parkSeq == seq {
-			s.dispatch(p, wake{})
-		}
-	})
+	s.seq++
+	s.schedule(event{at: s.now.Add(d), seq: s.seq, kind: evTimerWake,
+		proc: p, parkSeq: p.parkSeq + 1})
 	start := s.now
 	p.park()
 	p.slept += s.now.Sub(start)
@@ -287,16 +412,14 @@ func (p *Proc) Compute(d Duration) {
 	if d <= 0 {
 		return
 	}
-	start := p.sim.now
-	seq := p.parkSeq + 1
-	p.sim.After(d, func() {
-		if p.parked && p.parkSeq == seq {
-			p.sim.dispatch(p, wake{})
-		}
-	})
+	s := p.sim
+	start := s.now
+	s.seq++
+	s.schedule(event{at: s.now.Add(d), seq: s.seq, kind: evTimerWake,
+		proc: p, parkSeq: p.parkSeq + 1})
 	p.park()
-	p.busy += p.sim.now.Sub(start)
-	p.idle -= p.sim.now.Sub(start)
+	p.busy += s.now.Sub(start)
+	p.idle -= s.now.Sub(start)
 }
 
 // Park suspends the process until another party calls Wake on it.
@@ -309,12 +432,9 @@ func (p *Proc) ParkTimeout(d Duration) bool {
 		d = 0
 	}
 	s := p.sim
-	seq := p.parkSeq + 1
-	s.After(d, func() {
-		if p.parked && p.parkSeq == seq {
-			s.dispatch(p, wake{timedOut: true})
-		}
-	})
+	s.seq++
+	s.schedule(event{at: s.now.Add(d), seq: s.seq, kind: evTimerTimeout,
+		proc: p, parkSeq: p.parkSeq + 1})
 	w := p.park()
 	return !w.timedOut
 }
@@ -331,38 +451,89 @@ func (p *Proc) WakeAfter(d Duration) {
 	if !p.parked {
 		seq++ // wake the *next* park if it happens before the event fires
 	}
-	s.After(d, func() {
-		if p.parked && p.parkSeq == seq {
-			s.dispatch(p, wake{})
-		}
-	})
+	s.seq++
+	s.schedule(event{at: s.now.Add(d), seq: s.seq, kind: evTimerWake,
+		proc: p, parkSeq: seq})
 }
 
 // Yield gives other events scheduled at the current instant a chance to run
 // before the process continues. Equivalent to Sleep(0).
 func (p *Proc) Yield() { p.Sleep(0) }
 
-// Run dispatches events until the queue is empty or a failure occurs.
-// It returns an error if any process panicked, the deadline passed, or if
-// processes remain blocked with no pending events (deadlock).
-func (s *Sim) Run() error {
-	if s.running {
-		return fmt.Errorf("simnet: Run called re-entrantly")
-	}
-	s.running = true
-	defer func() { s.running = false }()
+// loopExit says why the event loop returned on this goroutine.
+type loopExit uint8
 
-	for len(s.events) > 0 && s.failure == nil {
-		ev := heap.Pop(&s.events).(*event)
-		if ev.at > s.now {
-			s.now = ev.at
-		}
-		if s.deadline != 0 && s.now > s.deadline {
-			return fmt.Errorf("simnet: deadline %v exceeded at t=%v", s.deadline, s.now)
+const (
+	exitSelfWake loopExit = iota // the caller's own wake fired; *w is set
+	exitHandoff                  // the token moved to another process
+	exitDone                     // the run terminated; s.runErr is set
+)
+
+// loop pops and executes events on the calling goroutine until control must
+// move elsewhere. self is the process that just parked on this goroutine
+// (nil when called from Run or a finished process's goroutine); when self's
+// own wake comes up the loop stores the wake in *w and returns exitSelfWake
+// without touching a channel. Timer wakes and process starts are dispatched
+// from the event value itself; only evFunc calls through a func value.
+func (s *Sim) loop(self *Proc, w *wake) loopExit {
+	for s.failure == nil {
+		var ev event
+		switch {
+		case len(s.heap) > 0 && s.heap[0].at <= s.now:
+			// Due events left over from before this instant's arrivals; they
+			// carry smaller seqs than anything in the ready ring.
+			ev = s.heapPop()
+		case s.ready.n > 0:
+			ev = s.ready.pop()
+		case len(s.heap) > 0:
+			next := s.heap[0].at
+			if s.deadline != 0 && next > s.deadline {
+				s.runErr = s.deadlineError(next)
+				return exitDone
+			}
+			s.now = next
+			ev = s.heapPop()
+		default:
+			s.runErr = s.stopError()
+			return exitDone
 		}
 		s.EventCount++
-		ev.fn()
+		switch ev.kind {
+		case evFunc:
+			ev.fn()
+		case evTimerWake, evTimerTimeout:
+			p := ev.proc
+			if p.parked && p.parkSeq == ev.parkSeq {
+				p.parked = false
+				wk := wake{timedOut: ev.kind == evTimerTimeout}
+				if p == self {
+					*w = wk
+					return exitSelfWake
+				}
+				p.resume <- wk // buffered: p is blocked receiving
+				return exitHandoff
+			}
+		case evProcStart:
+			p := ev.proc
+			s.obsBus.Emit(obs.Event{T: int64(s.now), Kind: obs.EvProcStart,
+				Rank: int32(p.id), Peer: -1, Name: p.name})
+			p.parked = false
+			p.resume <- wake{}
+			return exitHandoff
+		}
 	}
+	s.runErr = s.failure
+	return exitDone
+}
+
+// deadlineError reports the deadline trip (cold path, off the event loop).
+func (s *Sim) deadlineError(next Time) error {
+	return fmt.Errorf("simnet: deadline %v exceeded: next event at t=%v", s.deadline, next)
+}
+
+// stopError classifies an empty event queue: clean completion, a recorded
+// failure, or a deadlock with live processes (cold path, off the event loop).
+func (s *Sim) stopError() error {
 	if s.failure != nil {
 		return s.failure
 	}
@@ -380,6 +551,29 @@ func (s *Sim) Run() error {
 	return nil
 }
 
+// Run dispatches events until the queue is empty or a failure occurs.
+// It returns an error if any process panicked, the deadline passed, or if
+// processes remain blocked with no pending events (deadlock).
+//
+// Deadline semantics: the deadline error fires before executing any event
+// scheduled after the deadline, and that event is left unconsumed; an event
+// at exactly the deadline still runs.
+func (s *Sim) Run() error {
+	if s.running {
+		return fmt.Errorf("simnet: Run called re-entrantly")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	s.runErr = nil
+
+	if s.loop(nil, nil) == exitHandoff {
+		// The token is out among the processes; whichever goroutine detects
+		// termination signals done after setting runErr.
+		<-s.done
+	}
+	return s.runErr
+}
+
 // Procs returns all processes ever spawned, in spawn order.
 func (s *Sim) Procs() []*Proc { return s.procs }
 
@@ -388,6 +582,7 @@ func (s *Sim) Procs() []*Proc { return s.procs }
 type Cond struct {
 	sim     *Sim
 	waiters []*Proc
+	head    int // index of the first live waiter; slots before it are nil
 }
 
 // NewCond returns a condition variable bound to s.
@@ -399,24 +594,41 @@ func (c *Cond) Wait(p *Proc) {
 	p.park()
 }
 
-// Signal wakes one waiter (FIFO), if any.
+// Signal wakes one waiter (FIFO), if any. The popped slot is nilled so a
+// long-lived cond never pins a finished process through its backing array,
+// and the array is compacted once it is mostly dead slots.
 func (c *Cond) Signal() {
-	if len(c.waiters) == 0 {
+	if c.head == len(c.waiters) {
 		return
 	}
-	p := c.waiters[0]
-	c.waiters = c.waiters[1:]
+	p := c.waiters[c.head]
+	c.waiters[c.head] = nil
+	c.head++
+	switch {
+	case c.head == len(c.waiters):
+		c.waiters = c.waiters[:0]
+		c.head = 0
+	case c.head >= 32 && c.head*2 >= len(c.waiters):
+		n := copy(c.waiters, c.waiters[c.head:])
+		clearTail := c.waiters[n:]
+		for i := range clearTail {
+			clearTail[i] = nil
+		}
+		c.waiters = c.waiters[:n]
+		c.head = 0
+	}
 	p.Wake()
 }
 
 // Broadcast wakes all current waiters.
 func (c *Cond) Broadcast() {
-	ws := c.waiters
+	ws := c.waiters[c.head:]
 	c.waiters = nil
+	c.head = 0
 	for _, p := range ws {
 		p.Wake()
 	}
 }
 
 // Len reports the number of parked waiters.
-func (c *Cond) Len() int { return len(c.waiters) }
+func (c *Cond) Len() int { return len(c.waiters) - c.head }

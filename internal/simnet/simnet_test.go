@@ -176,6 +176,39 @@ func TestDeadline(t *testing.T) {
 	}
 }
 
+// TestDeadlineBoundary pins the deadline contract: an event at exactly the
+// deadline runs; the first event past it trips the error before executing,
+// and the tripping event is left unconsumed.
+func TestDeadlineBoundary(t *testing.T) {
+	s := New(1)
+	s.SetDeadline(Time(Millisecond))
+	atDeadline, pastDeadline := false, false
+	s.At(Time(Millisecond), func() { atDeadline = true })
+	s.At(Time(Millisecond)+1, func() { pastDeadline = true })
+	err := s.Run()
+	if err == nil {
+		t.Fatal("expected deadline error")
+	}
+	if !atDeadline {
+		t.Fatal("event at exactly the deadline must run")
+	}
+	if pastDeadline {
+		t.Fatal("event past the deadline must not run")
+	}
+	if s.Now() != Time(Millisecond) {
+		t.Fatalf("clock advanced past the deadline: now=%v", s.Now())
+	}
+	// The tripping event is still queued: clearing the deadline and
+	// re-running executes it.
+	s.SetDeadline(0)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !pastDeadline {
+		t.Fatal("unconsumed event did not survive the deadline error")
+	}
+}
+
 func TestComputeAccounting(t *testing.T) {
 	s := New(1)
 	var p0 *Proc
