@@ -19,15 +19,26 @@ build:
 test:
 	$(GO) test ./...
 
-# internal/tcpvia is the only package with real concurrency (goroutines,
-# sockets, locks) — the race detector has something to find only there.
+# internal/tcpvia has real concurrency (goroutines, sockets, locks);
+# internal/mpi and internal/core are single-threaded by design, so -race
+# there proves the simulated stack never silently grows a second runnable
+# goroutine (the one-runnable discipline the determinism rule encodes).
 race:
-	$(GO) test -race ./internal/tcpvia/...
+	$(GO) test -race ./internal/tcpvia/... ./internal/mpi/... ./internal/core/...
 
 # The invariant analyzers also run inside `go test` (the selfcheck); this
-# target is the direct, human-readable form.
+# target is the direct, human-readable form. The wall-time budget keeps the
+# whole-program interprocedural pass (call graph + four fixpoint rules)
+# honest: load dominates, so analysis must stay cheap enough to run on
+# every `make check`.
+ANALYZE_BUDGET ?= 120
 analyze:
-	$(GO) run ./cmd/viampi-vet -root .
+	@start=$$(date +%s); \
+	$(GO) run ./cmd/viampi-vet -root . || exit $$?; \
+	end=$$(date +%s); took=$$((end - start)); \
+	if [ $$took -gt $(ANALYZE_BUDGET) ]; then \
+		echo "make analyze: took $${took}s, budget $(ANALYZE_BUDGET)s — the analyzer pass is too slow for tier-1"; exit 1; \
+	fi
 
 figures:
 	$(GO) run ./cmd/figures -all -quick

@@ -6,15 +6,18 @@
 //
 //	viampi-vet [-root dir] [-rules layering,determinism,...] [-json]
 //	viampi-vet -explain <rule>
-//	viampi-vet -list
+//	viampi-vet -list | -rules
 //
 // Exit status is 0 when the tree is clean, 1 when violations were found,
 // 2 on usage or load errors. Output is deterministic: diagnostics are
 // sorted by (file, line, column, rule) in both text and -json modes, and
 // all rendering goes through the analysis package (RenderText/RenderJSON),
-// which the regression tests pin byte-for-byte. The same analyzers also run
-// inside `go test ./internal/analysis/...` (the selfcheck), so CI cannot
-// drift from what this command reports.
+// which the regression tests pin byte-for-byte; wall-clock timing (-json
+// mode) goes to stderr so stdout stays byte-stable. The same analyzers also
+// run inside `go test ./internal/analysis/...` (the selfcheck), so CI
+// cannot drift from what this command reports. Policy entries that match
+// nothing in the module are reported on stderr as stale — the selfcheck
+// fails on them, so a suppression cannot outlive the code it excused.
 package main
 
 import (
@@ -22,11 +25,18 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"viampi/internal/analysis"
 )
 
 func main() {
+	// A bare trailing -rules lists the rules (the flag package would demand
+	// a value); -rules with a value keeps the subset behavior below.
+	if n := len(os.Args); n > 1 && (os.Args[n-1] == "-rules" || os.Args[n-1] == "--rules") {
+		printRules(os.Stdout)
+		return
+	}
 	root := flag.String("root", ".", "module root to analyze (directory containing go.mod)")
 	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
@@ -49,12 +59,18 @@ func main() {
 		return
 	}
 
+	loadStart := time.Now()
 	mod, err := analysis.LoadModule(*root)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "viampi-vet: %v\n", err)
 		os.Exit(2)
 	}
+	loadTime := time.Since(loadStart)
 	policy := analysis.DefaultPolicy()
+
+	for _, w := range analysis.StalePolicy(mod, policy) {
+		fmt.Fprintf(os.Stderr, "viampi-vet: stale policy: %s\n", w)
+	}
 
 	selected := analysis.Analyzers()
 	if *rules != "" {
@@ -68,11 +84,13 @@ func main() {
 		}
 	}
 
+	analyzeStart := time.Now()
 	var ds []analysis.Diagnostic
 	for _, a := range selected {
 		ds = append(ds, a.Run(mod, policy)...)
 	}
 	analysis.SortDiagnostics(ds)
+	analyzeTime := time.Since(analyzeStart)
 
 	if *jsonOut {
 		out, err := analysis.RenderJSON(ds)
@@ -81,6 +99,10 @@ func main() {
 			os.Exit(2)
 		}
 		os.Stdout.Write(out)
+		// Timing goes to stderr: stdout is pinned byte-deterministic by
+		// the render tests, and wall-clock numbers never are.
+		fmt.Fprintf(os.Stderr, "viampi-vet: timing load=%s analyze=%s rules=%d packages=%d\n",
+			loadTime.Round(time.Millisecond), analyzeTime.Round(time.Millisecond), len(selected), len(mod.Pkgs))
 	} else {
 		os.Stdout.WriteString(analysis.RenderText(ds))
 		if len(ds) == 0 {

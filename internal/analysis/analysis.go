@@ -3,7 +3,7 @@
 // strictly-downward package layering, and total determinism of virtual time
 // (a run is a pure function of its Config).
 //
-// Eight analyzers ship (see the Analyzers registry). Four are syntactic:
+// Twelve analyzers ship (see the Analyzers registry). Four are syntactic:
 // layering checks the import DAG, determinism bans
 // wall-clock/global-rand/goroutines/locks in simulated code, maporder flags
 // order-sensitive iteration over Go maps, and costcharge verifies that
@@ -12,9 +12,17 @@
 // (switches over closed constant sets handle every member), waitwake
 // (waiter-visible state transitions wake parked waiters on every path),
 // locks (Lock/Unlock pairing and the leaf-lock contract), and hotalloc
-// (policy-annotated hot paths stay allocation-free). Legitimate exceptions
-// live in one place, policy.go, so they are declared in code review rather
-// than scattered as comments.
+// (policy-annotated hot paths stay allocation-free). Four are
+// interprocedural, built on the whole-program call graph and
+// summary-propagation fixpoint in callgraph.go: lockorder (the global
+// lock-acquisition-order graph is acyclic), protocol (wire kinds sent and
+// dispatcher arms agree in both directions), chargeflow (every path from an
+// MPI entry point to a fabric transmit charges CPU cost), and wakereach (a
+// park-visible transition is reached by a wake through the call graph).
+// Legitimate exceptions live in one place, policy.go, so they are declared
+// in code review rather than scattered as comments — and the stale-policy
+// sweep (stale.go) fails the build when an exception no longer matches any
+// code.
 //
 // The suite is built only on the standard library (go/ast, go/parser,
 // go/token, go/types); it adds no dependency to the tree it guards. It runs
@@ -64,6 +72,10 @@ func Analyzers() []*Analyzer {
 		WaitWakeAnalyzer(),
 		LocksAnalyzer(),
 		HotAllocAnalyzer(),
+		LockOrderAnalyzer(),
+		ProtocolAnalyzer(),
+		ChargeFlowAnalyzer(),
+		WakeReachAnalyzer(),
 	}
 }
 

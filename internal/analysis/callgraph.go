@@ -1,0 +1,319 @@
+package analysis
+
+// callgraph.go is the whole-program interprocedural layer: an index of every
+// declared function in the module, a call graph over them, and the shared
+// traversal helpers the summary-propagation analyzers (lockorder, protocol,
+// chargeflow, wakereach) are built on.
+//
+// Resolution is deliberately conservative in the direction that loses paths
+// rather than inventing them, with one exception that adds paths: a call
+// through a module-declared interface (core.Manager is the live example —
+// mpi drives the connection managers through it) fans out to *every* module
+// type whose method set satisfies the interface. Calls through function
+// values, stdlib interfaces, or reflection resolve to nothing and are
+// reported as unknown edges; the analyzers built on the graph treat an
+// unknown callee as having no effects, which can under-report but never
+// fabricates a diagnostic.
+//
+// Function literals are folded into their enclosing declaration: a literal
+// runs in its own activation (often at a later virtual time), but the code
+// it executes still belongs to the declaring function for reachability
+// purposes — a callback scheduled by F that transmits a frame is a transmit
+// F's callers can reach. Analyzers that need activation-accurate path
+// sensitivity (waitwake) keep analyzing literals as separate units; the
+// graph is about *what* can run, not *when*.
+//
+// The graph is built once per Module and cached (Module.Interproc), so the
+// four interprocedural analyzers — and the stale-policy sweep — share one
+// index instead of re-deriving it per rule.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// IPFunc is one declared function in the interprocedural index.
+type IPFunc struct {
+	Key      string // policy-qualified name ("internal/via.(Port).dispatch")
+	Pkg      *Package
+	File     *ast.File
+	Decl     *ast.FuncDecl
+	Units    []funcUnit // the declaration body plus its function literals
+	Exported bool       // exported name on an exported (or no) receiver
+}
+
+// IPCall is one resolved call site inside a function.
+type IPCall struct {
+	Call    *ast.CallExpr
+	Callees []string // sorted keys of possible module-internal targets; empty = unknown or external
+}
+
+// Interproc is the cached whole-program view.
+type Interproc struct {
+	mod   *Module
+	Funcs map[string]*IPFunc // by Key
+	Keys  []string           // sorted, for deterministic iteration
+
+	calls   map[string][]IPCall // per function, source order (literals included)
+	callers map[string][]string // inverse edges, sorted+deduped
+}
+
+// Interproc returns the module's interprocedural index, building it on first
+// use. All analyzers in one run share the same graph.
+func (m *Module) Interproc() *Interproc {
+	if m.inter == nil {
+		m.inter = buildInterproc(m)
+	}
+	return m.inter
+}
+
+// Calls returns the call sites of the named function in source order.
+func (ip *Interproc) Calls(key string) []IPCall { return ip.calls[key] }
+
+// Callers returns the sorted keys of functions with a call site that may
+// target key.
+func (ip *Interproc) Callers(key string) []string { return ip.callers[key] }
+
+// buildInterproc indexes every function declaration and resolves every call
+// site in the module.
+func buildInterproc(m *Module) *Interproc {
+	ip := &Interproc{
+		mod:     m,
+		Funcs:   map[string]*IPFunc{},
+		calls:   map[string][]IPCall{},
+		callers: map[string][]string{},
+	}
+	// Pass 1: the function index, and the method-set table interface
+	// resolution draws from.
+	var namedTypes []*types.Named
+	for _, pkg := range m.Pkgs {
+		if pkg.Info == nil || pkg.Types == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, u := range funcUnits(pkg, file) {
+				if f := ip.Funcs[u.name]; f != nil {
+					// A literal of a known declaration, or a same-key decl
+					// (multiple init functions share "pkg.init").
+					f.Units = append(f.Units, u)
+					continue
+				}
+				if u.lit != nil {
+					continue // literal of an unindexed decl (cannot happen in source order)
+				}
+				ip.Funcs[u.name] = &IPFunc{
+					Key:      u.name,
+					Pkg:      pkg,
+					File:     file,
+					Decl:     u.decl,
+					Units:    []funcUnit{u},
+					Exported: declIsExported(u.decl),
+				}
+			}
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+				if named, ok := tn.Type().(*types.Named); ok {
+					if _, isIface := named.Underlying().(*types.Interface); !isIface {
+						namedTypes = append(namedTypes, named)
+					}
+				}
+			}
+		}
+	}
+	for key := range ip.Funcs {
+		ip.Keys = append(ip.Keys, key)
+	}
+	sort.Strings(ip.Keys)
+
+	// Pass 2: resolve call sites.
+	callerSets := map[string]map[string]bool{}
+	for _, key := range ip.Keys {
+		f := ip.Funcs[key]
+		var sites []IPCall
+		// Each declaration body contains its literals, so walking the
+		// declaration units collects every call site exactly once.
+		for _, u := range f.Units {
+			if u.lit != nil {
+				continue
+			}
+			ast.Inspect(u.body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sites = append(sites, IPCall{
+					Call:    call,
+					Callees: resolveCallees(m, f.Pkg, call, namedTypes),
+				})
+				return true
+			})
+		}
+		ip.calls[key] = sites
+		for _, s := range sites {
+			for _, callee := range s.Callees {
+				set := callerSets[callee]
+				if set == nil {
+					set = map[string]bool{}
+					callerSets[callee] = set
+				}
+				set[key] = true
+			}
+		}
+	}
+	for callee, set := range callerSets {
+		var list []string
+		for k := range set {
+			list = append(list, k)
+		}
+		sort.Strings(list)
+		ip.callers[callee] = list
+	}
+	return ip
+}
+
+// declIsExported reports whether fd is part of the package's exported
+// surface: an exported name, with any receiver type also exported.
+func declIsExported(fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		base := typeBaseName(fd.Recv.List[0].Type)
+		if base == "" || !ast.IsExported(base) {
+			return false
+		}
+	}
+	return true
+}
+
+// resolveCallees maps one call expression to the module functions it may
+// invoke. Static calls resolve to one target; calls through a module-declared
+// interface fan out to every module type implementing it; everything else
+// (function values, stdlib targets, builtins) resolves to nothing.
+func resolveCallees(m *Module, pkg *Package, call *ast.CallExpr, namedTypes []*types.Named) []string {
+	obj := calleeObject(pkg.Info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if recv := sig.Recv(); recv != nil {
+		if _, isIface := recv.Type().Underlying().(*types.Interface); isIface {
+			return resolveInterfaceCall(m, fn, namedTypes)
+		}
+	}
+	key := relQualified(m.Path, objectQualifiedName(fn))
+	if key == "" || !inModule(m, fn.Pkg()) {
+		return nil
+	}
+	return []string{key}
+}
+
+// resolveInterfaceCall fans an interface-method call out to every module
+// type whose method set satisfies the method's interface.
+func resolveInterfaceCall(m *Module, ifaceMethod *types.Func, namedTypes []*types.Named) []string {
+	recv := ifaceMethod.Type().(*types.Signature).Recv().Type()
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	set := map[string]bool{}
+	for _, named := range namedTypes {
+		var impl types.Type
+		switch {
+		case types.Implements(named, iface):
+			impl = named
+		case types.Implements(types.NewPointer(named), iface):
+			impl = types.NewPointer(named)
+		default:
+			continue
+		}
+		target, _, _ := types.LookupFieldOrMethod(impl, true, named.Obj().Pkg(), ifaceMethod.Name())
+		tf, ok := target.(*types.Func)
+		if !ok || !inModule(m, tf.Pkg()) {
+			continue
+		}
+		if key := relQualified(m.Path, objectQualifiedName(tf)); key != "" {
+			set[key] = true
+		}
+	}
+	var keys []string
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// inModule reports whether pkg belongs to the module under analysis.
+func inModule(m *Module, pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == m.Path || strings.HasPrefix(pkg.Path(), m.Path+"/")
+}
+
+// ---------------------------------------------------------------------------
+// Summary-propagation fixpoint
+
+// fixpoint repeatedly applies step to every function (in sorted key order)
+// until one full sweep changes nothing. step returns true when it changed
+// the summary it maintains for key. Summaries must grow (or shrink)
+// monotonically or the loop may not terminate; the analyzers here use
+// monotone boolean and set domains.
+func (ip *Interproc) fixpoint(step func(key string) bool) {
+	for changed := true; changed; {
+		changed = false
+		for _, key := range ip.Keys {
+			if step(key) {
+				changed = true
+			}
+		}
+	}
+}
+
+// nodeMayStates runs the shared bitset dataflow over one unit body and
+// returns, for every CFG node, the may-state *before* the node executes —
+// the building block the interprocedural analyzers use to ask "what may be
+// held / owed at this call site".
+func nodeMayStates(body *ast.BlockStmt, entryState uint64, transfer func(node ast.Node, in uint64) uint64) map[ast.Node]uint64 {
+	g := buildCFG(body)
+	in := blockStates(g, entryState, func(b *cfgBlock, s uint64) uint64 {
+		for _, node := range b.nodes {
+			s = transfer(node, s)
+		}
+		return s
+	})
+	states := map[ast.Node]uint64{}
+	for _, blk := range g.blocks {
+		s, reached := in[blk]
+		if !reached {
+			continue
+		}
+		for _, node := range blk.nodes {
+			states[node] = s
+			s = transfer(node, s)
+		}
+	}
+	return states
+}
+
+// exitMayState folds one unit body and returns the may-state at the
+// function exit (after any fall-off-the-end path and every return).
+func exitMayState(body *ast.BlockStmt, entryState uint64, transfer func(node ast.Node, in uint64) uint64) uint64 {
+	g := buildCFG(body)
+	in := blockStates(g, entryState, func(b *cfgBlock, s uint64) uint64 {
+		for _, node := range b.nodes {
+			s = transfer(node, s)
+		}
+		return s
+	})
+	return in[g.exit]
+}

@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+)
+
+// ChargeFlowAnalyzer is the interprocedural replacement for the syntactic
+// costcharge rule: instead of demanding that a function calling a fabric
+// entry point charges cost in the same body, it verifies that every CFG
+// path from an MPI entry point to a fabric transmit passes a CPU-cost
+// charge somewhere along the call chain — charges made inside helpers
+// count, and transmits buried inside helpers are found.
+func ChargeFlowAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "chargeflow",
+		Doc:  "every path from an MPI entry point to a fabric transmit must charge CPU cost",
+		Explain: `docs/ARCHITECTURE.md, invariant 2 ("Costs are charged where the hardware
+pays them"): a fabric transmit (Policy.ChargeRequired: Cluster.Send,
+SendMgmt, Attach, AttachNode) models a NIC or switch doing real work, so
+any route the software takes to one must book cost against virtual time
+(Policy.ChargeFuncs: ChargeHost, serviceTx/serviceRx/sendFrame,
+Compute/Sleep) or the paper's latency curves quietly understate the
+device. The costcharge rule checks this per-body, which both misses
+uncharged paths assembled across functions and cannot credit a charge
+made inside a helper. This rule computes, over the shared call graph, two
+summaries to fixpoint: alwaysCharges(F) — every path through F charges
+before returning — and uncharged(F) — some path from F's entry reaches a
+transmit (a ChargeRequired call, or a call into an uncharged callee) with
+no prior charge (a ChargeFuncs call, or a call into an alwaysCharges
+callee). A diagnostic fires for every exported function of a
+Policy.ChargeRootPkgs package — the MPI entry points — that is uncharged,
+citing the first witness site. Reviewed exceptions (the out-of-band
+bootstrap network, boot-time attach) live in Policy.ChargeFlowExempt.`,
+		Run: runChargeFlow,
+	}
+}
+
+// cfSite is one precomputed call site relevant to the uncharged fixpoint:
+// a transmit, or a call whose callee may itself be uncharged.
+type cfSite struct {
+	node            ast.Node
+	beforeUncharged bool // some path reaches this site with no charge yet
+	direct          bool // a ChargeRequired call
+	callees         []string
+	desc            string // what the site calls, for the message
+}
+
+func runChargeFlow(m *Module, p *Policy) []Diagnostic {
+	ip := m.Interproc()
+
+	chargeCall := func(pkg *Package, call *ast.CallExpr) (qual string, charges, transmits bool) {
+		obj := calleeObject(pkg.Info, call)
+		if obj == nil {
+			return "", false, false
+		}
+		qual = relQualified(m.Path, objectQualifiedName(obj))
+		return qual, p.ChargeFuncs[qual], p.ChargeRequired[qual]
+	}
+
+	// alwaysCharges: greatest fixpoint — start optimistic, strike functions
+	// with a charge-free path to return. ChargeFuncs members are charges by
+	// definition.
+	always := map[string]bool{}
+	for _, key := range ip.Keys {
+		always[key] = true
+	}
+	ip.fixpoint(func(key string) bool {
+		if !always[key] || p.ChargeFuncs[key] {
+			return false
+		}
+		f := ip.Funcs[key]
+		var body *ast.BlockStmt
+		for _, u := range f.Units {
+			if u.lit == nil {
+				body = u.body
+				break
+			}
+		}
+		if body == nil {
+			return false
+		}
+		// Bit 0: no charge yet on some path. A charge on a path moves it to
+		// bit 1. Charges inside literals run in a later activation and do
+		// not count for the calling path.
+		exit := exitMayState(body, 1<<0, func(node ast.Node, in uint64) uint64 {
+			charged := false
+			inspectSkipLits(node, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if _, c, _ := chargeCall(f.Pkg, call); c {
+						charged = true
+					} else if obj := calleeObject(f.Pkg.Info, call); obj != nil {
+						if q := relQualified(m.Path, objectQualifiedName(obj)); always[q] && ip.Funcs[q] != nil {
+							charged = true
+						}
+					}
+				}
+				return true
+			})
+			if charged {
+				return lkApply(in, func(s int) int { return 1 })
+			}
+			return in
+		})
+		if exit&(1<<0) != 0 {
+			always[key] = false
+			return true
+		}
+		return false
+	})
+
+	// Precompute, per function, the sites the uncharged fixpoint inspects,
+	// each with its "may be uncharged here" entry state. The dataflow only
+	// depends on `always` (now fixed), so this runs once.
+	sites := map[string][]cfSite{}
+	skip := func(key string) bool {
+		if p.ChargeFuncs[key] {
+			return true
+		}
+		if _, exempt := p.ChargeFlowExempt[key]; exempt {
+			return true
+		}
+		return false
+	}
+	transfer := func(pkg *Package, node ast.Node, in uint64) uint64 {
+		charged := false
+		inspectSkipLits(node, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if q, c, _ := chargeCall(pkg, call); c || (always[q] && ip.Funcs[q] != nil) {
+					charged = true
+				}
+			}
+			return true
+		})
+		if charged {
+			return lkApply(in, func(s int) int { return 1 })
+		}
+		return in
+	}
+	for _, key := range ip.Keys {
+		if skip(key) {
+			continue
+		}
+		f := ip.Funcs[key]
+		for _, u := range f.Units {
+			// A literal runs in its own activation (a scheduled callback),
+			// where nothing charged by the enclosing body is still "on the
+			// path" — it starts uncharged.
+			states := nodeMayStates(u.body, 1<<0, func(node ast.Node, in uint64) uint64 {
+				return transfer(f.Pkg, node, in)
+			})
+			inspectSkipLits(u.body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				qual, _, transmits := chargeCall(f.Pkg, call)
+				callees := resolveSiteCallees(ip, key, call)
+				if !transmits && len(callees) == 0 {
+					return true
+				}
+				in, reached := loStateAt(states, u.body, n)
+				if !reached {
+					return true
+				}
+				sites[key] = append(sites[key], cfSite{
+					node:            call,
+					beforeUncharged: in&(1<<0) != 0,
+					direct:          transmits,
+					callees:         callees,
+					desc:            qual,
+				})
+				return true
+			})
+		}
+	}
+
+	// uncharged: least fixpoint over the precomputed sites.
+	uncharged := map[string]bool{}
+	witness := map[string]cfSite{}
+	ip.fixpoint(func(key string) bool {
+		if uncharged[key] || skip(key) {
+			return false
+		}
+		for _, s := range sites[key] {
+			if !s.beforeUncharged {
+				continue
+			}
+			hit := s.direct
+			if !hit {
+				for _, callee := range s.callees {
+					if uncharged[callee] {
+						hit = true
+						break
+					}
+				}
+			}
+			if hit {
+				uncharged[key] = true
+				witness[key] = s
+				return true
+			}
+		}
+		return false
+	})
+
+	// Report the MPI entry points: exported functions of the root packages.
+	var ds []Diagnostic
+	var roots []string
+	for _, key := range ip.Keys {
+		f := ip.Funcs[key]
+		if f.Exported && p.ChargeRootPkgs[f.Pkg.Rel] && uncharged[key] {
+			roots = append(roots, key)
+		}
+	}
+	sort.Strings(roots)
+	for _, key := range roots {
+		w := witness[key]
+		what := "a fabric transmit"
+		if !w.direct {
+			what = fmt.Sprintf("an uncharged path in %s", firstUnchargedCallee(w, uncharged))
+		} else if w.desc != "" {
+			what = w.desc
+		}
+		ds = append(ds, Diagnostic{
+			Pos:  m.Position(w.node.Pos()),
+			Rule: "chargeflow",
+			Message: fmt.Sprintf("MPI entry point %s reaches %s without charging CPU cost on some path; the transmit becomes free in virtual time — charge (ChargeHost/Compute) before it, or justify in Policy.ChargeFlowExempt",
+				key, what),
+		})
+	}
+	return ds
+}
+
+// firstUnchargedCallee names the callee the witness path descends into.
+func firstUnchargedCallee(s cfSite, uncharged map[string]bool) string {
+	for _, callee := range s.callees {
+		if uncharged[callee] {
+			return callee
+		}
+	}
+	return "a callee"
+}

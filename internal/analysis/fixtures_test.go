@@ -33,28 +33,37 @@ func TestFixtureDiagnostics(t *testing.T) {
 		got = append(got, fmt.Sprintf("%s:%d: %s", filepath.ToSlash(rel), d.Pos.Line, d.Rule))
 	}
 	want := []string{
-		"internal/core/determ.go:7: determinism",  // sync import
-		"internal/core/determ.go:15: determinism", // time.Now
-		"internal/core/determ.go:20: determinism", // naked goroutine
-		"internal/core/determ.go:25: determinism", // global rand.Intn
-		"internal/mpi/hotalloc.go:15: hotalloc",   // make on the hot path
-		"internal/mpi/hotalloc.go:17: hotalloc",   // escaping composite literal
-		"internal/mpi/hotalloc.go:19: hotalloc",   // closure literal
-		"internal/mpi/hotalloc.go:21: hotalloc",   // string concatenation
-		"internal/mpi/hotalloc.go:23: hotalloc",   // interface boxing
-		"internal/mpi/maporder.go:9: maporder",    // append of values in map order
-		"internal/mpi/maporder.go:18: maporder",   // keys collected, never sorted
-		"internal/mpi/maporder.go:51: maporder",   // per-entry call
-		"internal/obs/obs.go:17: exhaustive",      // strict String misses EvC despite default
-		"internal/tcpvia/locks.go:8: determinism", // sync import (leaf exemption stripped)
-		"internal/tcpvia/locks.go:10: layering",   // restricted leaf imports a layered package
-		"internal/tcpvia/locks.go:23: locks",      // Lock with no Unlock on the skip path
-		"internal/tcpvia/locks.go:25: locks",      // layered call under the leaf lock
-		"internal/via/enum.go:19: exhaustive",     // ViState switch misses ViClosed
-		"internal/via/enum.go:70: exhaustive",     // wire-kind switch misses kindConnNack
-		"internal/via/via.go:6: layering",         // via imports mpi (upward)
-		"internal/via/via.go:22: costcharge",      // Cluster.Send with no charge
-		"internal/via/waitwake.go:35: waitwake",   // state flips closed, no waker on path
+		"internal/core/determ.go:7: determinism",      // sync import
+		"internal/core/determ.go:15: determinism",     // time.Now
+		"internal/core/determ.go:20: determinism",     // naked goroutine
+		"internal/core/determ.go:25: determinism",     // global rand.Intn
+		"internal/mpi/chargeflow.go:32: chargeflow",   // SendUncharged: bare transmit through a helper
+		"internal/mpi/chargeflow.go:55: chargeflow",   // SendBranchUncharged: fast branch skips the charge
+		"internal/mpi/hotalloc.go:15: hotalloc",       // make on the hot path
+		"internal/mpi/hotalloc.go:17: hotalloc",       // escaping composite literal
+		"internal/mpi/hotalloc.go:19: hotalloc",       // closure literal
+		"internal/mpi/hotalloc.go:21: hotalloc",       // string concatenation
+		"internal/mpi/hotalloc.go:23: hotalloc",       // interface boxing
+		"internal/mpi/maporder.go:9: maporder",        // append of values in map order
+		"internal/mpi/maporder.go:18: maporder",       // keys collected, never sorted
+		"internal/mpi/maporder.go:51: maporder",       // per-entry call
+		"internal/obs/obs.go:17: exhaustive",          // strict String misses EvC despite default
+		"internal/tcpvia/lockorder.go:8: determinism", // sync import (leaf exemption stripped)
+		"internal/tcpvia/lockorder.go:47: lockorder",  // PairBA closes the Node.mu/Channel.mu cycle
+		"internal/tcpvia/locks.go:8: determinism",     // sync import (leaf exemption stripped)
+		"internal/tcpvia/locks.go:10: layering",       // restricted leaf imports a layered package
+		"internal/tcpvia/locks.go:23: locks",          // Lock with no Unlock on the skip path
+		"internal/tcpvia/locks.go:25: locks",          // layered call under the leaf lock
+		"internal/via/enum.go:19: exhaustive",         // ViState switch misses ViClosed
+		"internal/via/enum.go:71: exhaustive",         // wire-kind switch misses kindConnNack and kindDisc
+		"internal/via/protocol.go:17: protocol",       // kindDisc arm is dead: nothing sends it
+		"internal/via/protocol.go:38: protocol",       // kindConnNack sent, no dispatcher arm
+		"internal/via/via.go:6: layering",             // via imports mpi (upward)
+		"internal/via/via.go:22: costcharge",          // Cluster.Send with no charge
+		"internal/via/waitwake.go:35: waitwake",       // state flips closed, no waker on path
+		"internal/via/waitwake.go:35: wakereach",      // CloseBad is exported and owes the wake itself
+		"internal/via/wakereach.go:12: waitwake",      // failQuiet flips status, wake owed to callers
+		"internal/via/wakereach.go:20: wakereach",     // AbortBad inherits the obligation, never wakes
 	}
 	if len(got) != len(want) {
 		t.Fatalf("diagnostic count: got %d, want %d\ngot:\n  %s", len(got), len(want), strings.Join(got, "\n  "))
@@ -80,6 +89,10 @@ func TestFixtureMessagesCiteTheFix(t *testing.T) {
 		"waitwake":    "notifyActivity",
 		"locks":       "Unlock",
 		"hotalloc":    "hot path",
+		"lockorder":   "one global order",
+		"protocol":    "handler arm",
+		"chargeflow":  "Policy.ChargeFlowExempt",
+		"wakereach":   "Policy.WakeReachAllow",
 	}
 	seen := map[string]bool{}
 	for _, d := range ds {

@@ -40,6 +40,7 @@ type Module struct {
 	Pkgs []*Package // sorted by import path
 
 	byPath map[string]*Package
+	inter  *Interproc // lazily-built whole-program view, shared by all analyzers
 }
 
 // Lookup returns the package with the given import path, or nil.

@@ -60,6 +60,13 @@ type Policy struct {
 	// ChargeExempt lists via/core functions excused from the rule, with
 	// justifications.
 	ChargeExempt map[string]string
+	// ChargeRootPkgs lists the packages whose exported functions are the
+	// entry points the interprocedural chargeflow rule audits: every path
+	// from one of them to a ChargeRequired transmit must pass a charge.
+	ChargeRootPkgs map[string]bool
+	// ChargeFlowExempt excuses functions from the chargeflow rule, with
+	// justifications — the interprocedural counterpart of ChargeExempt.
+	ChargeFlowExempt map[string]string
 
 	// ExhaustiveStrict lists policy-qualified functions whose switches must
 	// name every enum member even when they carry a default: the default is
@@ -74,6 +81,16 @@ type Policy struct {
 	// field must cover every constant declared in that block.
 	TagFields map[string]string
 
+	// ProtocolDispatch maps each wire dispatcher (policy-qualified function)
+	// to the TagFields kind field it switches over. The protocol rule checks
+	// every kind the module sends against the dispatcher's arms, and every
+	// arm against the senders.
+	ProtocolDispatch map[string]string
+	// ProtocolNeverSent declares kinds (qualified constant names) that are
+	// deliberately receive-only in this module, with the reason no sender
+	// exists here.
+	ProtocolNeverSent map[string]string
+
 	// WaitWakeScope lists packages whose state machines have parked waiters
 	// (the VIA provider).
 	WaitWakeScope map[string]bool
@@ -86,6 +103,12 @@ type Policy struct {
 	// WaitWakeAllow exempts functions whose callers own the wake, with the
 	// argument for why every caller wakes.
 	WaitWakeAllow map[string]string
+	// WakeReachAllow exempts functions from the interprocedural wakereach
+	// rule — owner-thread entry points whose caller is by definition not
+	// parked, so the escaped obligation is vacuous. Unlike WaitWakeAllow,
+	// entries here are NOT trusted for helpers: a helper's obligation is
+	// verified against its actual callers.
+	WakeReachAllow map[string]string
 
 	// LeafLocks maps qualified mutex fields to the leaf contract they carry:
 	// while one is held, no call may re-enter a layered simulation package.
@@ -93,6 +116,10 @@ type Policy struct {
 	// LockExempt excuses functions from the lock-discipline rule entirely,
 	// with justifications.
 	LockExempt map[string]string
+	// LockOrderAllow excuses edges ("A -> B", both qualified mutex fields)
+	// from the global lock-order cycle check, with the argument for why the
+	// two acquisition orders can never be live concurrently.
+	LockOrderAllow map[string]string
 
 	// HotPaths maps policy-qualified functions to the reason they are hot;
 	// their bodies must stay allocation-free (see hotalloc).
@@ -136,6 +163,7 @@ func DefaultPolicy() *Policy {
 			"examples/tcpring":  "drives internal/tcpvia over real TCP; measures wall time by design",
 			"internal/analysis": "static-analysis tooling; never on a simulation path",
 			"cmd/benchsnap":     "wall-clock rail for BENCH_simcore.json; the virtual-time snapshot it also emits is pinned byte-stable by make check",
+			"cmd/viampi-vet":    "analysis driver; the -json timing line measures host load/analyze wall time and goes to stderr, never near a simulation path",
 		},
 		GoStmtAllowed: map[string]bool{
 			"internal/simnet": true,
@@ -169,6 +197,16 @@ func DefaultPolicy() *Policy {
 			"internal/via.(Network).open": "boot-time endpoint attach; MPI_Init cost is charged by the connection managers, not port creation",
 			"internal/via.(Port).SendOob": "out-of-band management network (Ethernet/TCP bootstrap); bypasses the NIC by design, §ARCHITECTURE 'never for MPI traffic'",
 		},
+		ChargeRootPkgs: map[string]bool{
+			"internal/mpi": true,
+		},
+		ChargeFlowExempt: map[string]string{
+			// The same two reviewed exceptions as ChargeExempt, restated for
+			// the interprocedural rule so exported MPI surface reaching them
+			// (bootstrap barriers over SendOob, MPI_Init attach) stays clean.
+			"internal/via.(Network).open": "boot-time endpoint attach; MPI_Init cost is charged by the connection managers, not port creation",
+			"internal/via.(Port).SendOob": "out-of-band management network (Ethernet/TCP bootstrap); bypasses the NIC by design, §ARCHITECTURE 'never for MPI traffic'",
+		},
 
 		ExhaustiveStrict: map[string]string{
 			"internal/obs.(Kind).String":       "wire-stable export names: a kind falling to \"unknown\" silently corrupts every metrics key and trace label",
@@ -187,6 +225,12 @@ func DefaultPolicy() *Policy {
 			"internal/via.(wireMsg).kind": "internal/via.kindConnReq",
 			"internal/mpi.(hdr).kind":     "internal/mpi.pktEager",
 		},
+
+		ProtocolDispatch: map[string]string{
+			"internal/via.(Port).dispatch":     "internal/via.(wireMsg).kind",
+			"internal/mpi.(Rank).handlePacket": "internal/mpi.(hdr).kind",
+		},
+		ProtocolNeverSent: map[string]string{},
 
 		WaitWakeScope: map[string]bool{
 			"internal/via": true,
@@ -209,11 +253,21 @@ func DefaultPolicy() *Policy {
 			"internal/via.(VI).resetHandshake": "NACK/cancel helper: the kindConnNack dispatch path notifies after it, and CancelConnect runs on the owner thread, which cannot be parked while calling it",
 			"internal/via.(VI).PostSend":       "owner-thread entry point: the pre-connection discard completes synchronously for the poster, which by definition is not parked",
 		},
+		WakeReachAllow: map[string]string{
+			// Owner-thread entry points: both obligations come from helpers
+			// (resetHandshake, the pre-connection discard) whose other
+			// callers are verified by this rule; on these two surfaces the
+			// calling process is by definition running, not parked, so there
+			// is no waiter to wake.
+			"internal/via.(Port).CancelConnect": "owner-thread entry point: the canceling process is running, not parked; the kindConnNack dispatch path through resetHandshake is verified separately and wakes",
+			"internal/via.(VI).PostSend":        "owner-thread entry point: the pre-connection discard completes synchronously for the poster, which by definition is not parked",
+		},
 
 		LeafLocks: map[string]string{
 			"internal/tcpvia.(Manager).metricsMu": "guards the obs metrics registry only; acquired last, released before any node/channel lock or call back into the stack",
 		},
-		LockExempt: map[string]string{},
+		LockExempt:     map[string]string{},
+		LockOrderAllow: map[string]string{},
 
 		HotPaths: map[string]string{
 			"internal/obs.(Bus).Emit":            "nil-bus disabled path runs on every instrumented event; pinned at zero allocations by BenchmarkEmitDisabled",
@@ -263,8 +317,12 @@ func FixturePolicy() *Policy {
 	p.DeterminismExempt = map[string]string{}
 	p.MapOrderAllow = map[string]string{}
 	p.ChargeExempt = map[string]string{}
+	p.ChargeFlowExempt = map[string]string{}
 	p.EnumExclude = map[string]string{}
 	p.WaitWakeAllow = map[string]string{}
+	p.WakeReachAllow = map[string]string{}
 	p.LockExempt = map[string]string{}
+	p.LockOrderAllow = map[string]string{}
+	p.ProtocolNeverSent = map[string]string{}
 	return p
 }

@@ -47,6 +47,49 @@ func TestSelfCheck(t *testing.T) {
 	}
 }
 
+// TestPolicyNotStale fails the build when a policy entry matches nothing in
+// the module: an allowlist that outlives the function it excused is a
+// silent hole in the invariant, so stale entries are errors here (the
+// viampi-vet driver warns about the same list on stderr).
+func TestPolicyNotStale(t *testing.T) {
+	m := loadRepo(t)
+	for _, w := range StalePolicy(m, DefaultPolicy()) {
+		t.Errorf("%s", w)
+	}
+}
+
+// TestSeededStaleEntryIsCaught plants entries pointing at code that does
+// not exist — a renamed allowlisted function, a deleted package, a
+// lock-order edge naming a removed mutex — and requires StalePolicy to
+// name each one.
+func TestSeededStaleEntryIsCaught(t *testing.T) {
+	m := loadRepo(t)
+	p := DefaultPolicy()
+	p.MapOrderAllow["internal/via.(Port).zzRenamedAway"] = "seeded: function no longer exists"
+	p.DeterminismExempt["internal/zzdeleted"] = "seeded: package no longer exists"
+	p.LockOrderAllow["internal/tcpvia.(Node).mu -> internal/tcpvia.(Node).zzGone"] = "seeded: mutex field no longer exists"
+
+	got := StalePolicy(m, p)
+	for _, wantSub := range []string{
+		`policy.MapOrderAllow["internal/via.(Port).zzRenamedAway"]`,
+		`policy.DeterminismExempt["internal/zzdeleted"]`,
+		`policy.LockOrderAllow["internal/tcpvia.(Node).mu -> internal/tcpvia.(Node).zzGone"]`,
+	} {
+		found := false
+		for _, w := range got {
+			if strings.Contains(w, wantSub) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("seeded stale entry not reported: want a message containing %s\ngot: %v", wantSub, got)
+		}
+	}
+	if len(got) != 3 {
+		t.Errorf("stale count: got %d, want exactly the 3 seeded entries: %v", len(got), got)
+	}
+}
+
 // TestSelfCheckSeesTheWholeModule guards against the loader silently
 // skipping the tree: the packages the layering contract names must all be
 // present and type-checked.

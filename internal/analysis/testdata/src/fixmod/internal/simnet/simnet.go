@@ -1,0 +1,11 @@
+// Package simnet is the fixture twin of viampi's internal/simnet: it
+// exposes the charging primitive the chargeflow rule credits, reachable
+// from the fixture mpi package without the import cycle a via dependency
+// would create (fixture via deliberately imports fixture mpi).
+package simnet
+
+// Proc mirrors the real simnet.Proc charging surface.
+type Proc struct{}
+
+// Compute charges CPU cost (ChargeFuncs in the policy).
+func (p *Proc) Compute(d int64) {}

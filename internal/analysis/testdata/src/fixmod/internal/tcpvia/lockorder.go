@@ -1,0 +1,56 @@
+// lockorder.go is the fixture home of the global lock-order cases: two
+// mutexes acquired in opposite orders by two functions, each locally
+// impeccable (paired, deferred), so only the whole-program order graph sees
+// the deadlock. The sync import is a deliberate extra determinism
+// violation, as in locks.go.
+package tcpvia
+
+import "sync"
+
+// Node and Channel mirror the real tcpvia lock hierarchy shape.
+type Node struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Channel struct {
+	mu sync.Mutex
+	n  int
+}
+
+// lockNode acquires the Node lock (an interprocedural acquisition site).
+func (n *Node) lockNode() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.n++
+}
+
+// lockChannel acquires the Channel lock.
+func (c *Channel) lockChannel() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// PairAB holds Node.mu while a callee acquires Channel.mu (order A→B).
+func (n *Node) PairAB(c *Channel) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c.lockChannel()
+}
+
+// PairBA holds Channel.mu while a callee acquires Node.mu (order B→A) —
+// together with PairAB this closes the cycle; lockorder must flag it once.
+func (c *Channel) PairBA(n *Node) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n.lockNode()
+}
+
+// PairABAgain repeats the A→B order — consistent ordering, adds no new
+// edge and must NOT widen the report.
+func (n *Node) PairABAgain(c *Channel) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c.lockChannel()
+}

@@ -57,6 +57,7 @@ const (
 	kindConnReq byte = iota + 1
 	kindConnAck
 	kindConnNack
+	kindDisc
 )
 
 // wireMsg mirrors the real provider's frame header.

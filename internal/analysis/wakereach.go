@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+)
+
+// WakeReachAnalyzer is the interprocedural extension of waitwake: a
+// waiter-visible state transition made anywhere in a call chain must be
+// reachable by a wake through the call graph before the obligation escapes
+// the waitwake scope. Where waitwake trusts its allowlist ("the callers
+// wake"), this rule propagates the obligation into those callers and
+// checks that they actually do.
+func WakeReachAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "wakereach",
+		Doc:  "a park-visible transition must be reached by a wake through the call graph",
+		Explain: `docs/ARCHITECTURE.md, "Enforced invariants": a process parked in
+VipRecvWait/WaitActivity runs again only when a completion or state change
+wakes it, so every transition into a waiter-visible state owes a
+notifyActivity before control leaves the provider. The PR 3 VI.Close hang
+is the motivating case: Close failed pending descriptors (a transition
+helpers made on its behalf) and returned without the wake, leaving a
+parked RecvWait asleep forever in virtual time. The per-body waitwake
+rule catches this shape only when transition and return share a function;
+helpers like failPending are excused by allowlist with the *claim* that
+every caller wakes. This rule verifies the claim: it computes, over the
+shared call graph, alwaysWakes(F) — every path through F wakes — and
+owesWake(F) — some path transitions (directly, or by calling an owing
+helper) and returns without a wake (direct, deferred, or via an
+alwaysWakes callee). The obligation may flow upward between in-scope
+functions, because a caller can legitimately own the wake; the diagnostic
+fires when an owing function's obligation escapes — it is exported, is
+called from outside Policy.WaitWakeScope, or has no module callers at
+all — so no caller inside the provider can discharge it. Owner-thread
+entry points whose caller is by definition not parked are justified in
+Policy.WakeReachAllow.`,
+		Run: runWakeReach,
+	}
+}
+
+func runWakeReach(m *Module, p *Policy) []Diagnostic {
+	ip := m.Interproc()
+
+	calleeQual := func(pkg *Package, call *ast.CallExpr) string {
+		obj := calleeObject(pkg.Info, call)
+		if obj == nil {
+			return ""
+		}
+		return relQualified(m.Path, objectQualifiedName(obj))
+	}
+
+	// alwaysWakes: greatest fixpoint — every path through F wakes, directly
+	// or through a callee that always wakes. Policy-listed wakers qualify by
+	// definition.
+	always := map[string]bool{}
+	for _, key := range ip.Keys {
+		always[key] = true
+	}
+	wakesHere := func(pkg *Package, node ast.Node) bool {
+		woke := false
+		inspectSkipLits(node, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if wwIsWakerCall(m, p, pkg, call) {
+					woke = true
+				} else if q := calleeQual(pkg, call); always[q] && ip.Funcs[q] != nil {
+					woke = true
+				}
+			}
+			return true
+		})
+		return woke
+	}
+	ip.fixpoint(func(key string) bool {
+		if !always[key] || p.WaitWakeWakers[key] {
+			return false
+		}
+		f := ip.Funcs[key]
+		var body *ast.BlockStmt
+		for _, u := range f.Units {
+			if u.lit == nil {
+				body = u.body
+				break
+			}
+		}
+		if body == nil {
+			return false
+		}
+		// Bit 0: not yet woken on some path. A deferred waker runs at
+		// return, so for exit-state purposes it wakes the paths through it.
+		exit := exitMayState(body, 1<<0, func(node ast.Node, in uint64) uint64 {
+			if def, ok := node.(*ast.DeferStmt); ok {
+				if wwIsWakerCall(m, p, f.Pkg, def.Call) || wwLitContainsWaker(m, p, f.Pkg, def.Call) {
+					return lkApply(in, func(s int) int { return 1 })
+				}
+				return in
+			}
+			if wakesHere(f.Pkg, node) {
+				return lkApply(in, func(s int) int { return 1 })
+			}
+			return in
+		})
+		if exit&(1<<0) != 0 {
+			always[key] = false
+			return true
+		}
+		return false
+	})
+
+	// owesWake: least fixpoint over the in-scope functions. The transfer
+	// depends on the evolving owes map (a call to an owing helper raises the
+	// obligation mid-path), so each sweep re-runs the dataflow.
+	owes := map[string]bool{}
+	witness := map[string]ast.Node{}
+	inScope := func(key string) bool {
+		f := ip.Funcs[key]
+		return f != nil && p.WaitWakeScope[f.Pkg.Rel]
+	}
+	ip.fixpoint(func(key string) bool {
+		if owes[key] || !inScope(key) || p.WaitWakeWakers[key] {
+			return false
+		}
+		f := ip.Funcs[key]
+		for _, u := range f.Units {
+			var firstTrigger ast.Node
+			exit := exitMayState(u.body, 1<<0, func(node ast.Node, in uint64) uint64 {
+				return wrTransfer(m, p, f.Pkg, ip, always, owes, node, in, &firstTrigger)
+			})
+			for s := 0; s < wwStates; s++ {
+				if exit&(1<<s) == 0 || s&wwPending == 0 || s&wwDeferred != 0 {
+					continue
+				}
+				owes[key] = true
+				if witness[key] == nil && firstTrigger != nil {
+					witness[key] = firstTrigger
+				}
+				return true
+			}
+		}
+		return false
+	})
+
+	// The obligation escapes when no in-scope caller can discharge it.
+	var ds []Diagnostic
+	var owing []string
+	for key := range owes {
+		owing = append(owing, key)
+	}
+	sort.Strings(owing)
+	for _, key := range owing {
+		if _, allowed := p.WakeReachAllow[key]; allowed {
+			continue
+		}
+		f := ip.Funcs[key]
+		callers := ip.Callers(key)
+		escape := ""
+		switch {
+		case f.Exported:
+			escape = "it is exported, so callers outside the provider reach it directly"
+		case len(callers) == 0:
+			escape = "it has no module callers to discharge the obligation"
+		default:
+			for _, c := range callers {
+				if !inScope(c) {
+					escape = fmt.Sprintf("it is called from %s, outside the waitwake scope", c)
+					break
+				}
+			}
+		}
+		if escape == "" {
+			continue // every caller is in scope and inherits the obligation
+		}
+		pos := witness[key]
+		if pos == nil {
+			pos = f.Decl
+		}
+		ds = append(ds, Diagnostic{
+			Pos:  m.Position(pos.Pos()),
+			Rule: "wakereach",
+			Message: fmt.Sprintf("%s moves state a blocked waiter observes (directly or via a helper) and can return without any wake reaching it: %s; a parked WaitActivity would sleep forever — wake on every path, or justify the owner-thread contract in Policy.WakeReachAllow",
+				key, escape),
+		})
+	}
+	return ds
+}
+
+// wrTransfer folds one CFG node into the wwPending/wwDeferred state set,
+// extending the waitwake transfer with interprocedural effects: a call to
+// an owing helper raises the obligation; a call to an alwaysWakes callee
+// discharges it.
+func wrTransfer(m *Module, p *Policy, pkg *Package, ip *Interproc, always, owes map[string]bool, node ast.Node, in uint64, firstTrigger *ast.Node) uint64 {
+	if def, ok := node.(*ast.DeferStmt); ok {
+		if wwIsWakerCall(m, p, pkg, def.Call) || wwLitContainsWaker(m, p, pkg, def.Call) {
+			return wwApply(in, func(s int) int { return s | wwDeferred })
+		}
+		return in
+	}
+	out := in
+	raise := len(wwTriggers(m, p, pkg, node, false)) > 0
+	wake := false
+	inspectSkipLits(node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if wwIsWakerCall(m, p, pkg, call) {
+			wake = true
+			return true
+		}
+		obj := calleeObject(pkg.Info, call)
+		if obj == nil {
+			return true
+		}
+		q := relQualified(m.Path, objectQualifiedName(obj))
+		if ip.Funcs[q] == nil {
+			return true
+		}
+		if owes[q] {
+			raise = true
+		} else if always[q] {
+			wake = true
+		}
+		return true
+	})
+	if raise {
+		if *firstTrigger == nil {
+			*firstTrigger = node
+		}
+		out = wwApply(out, func(s int) int { return s | wwPending })
+	}
+	if wake {
+		out = wwApply(out, func(s int) int { return s &^ wwPending })
+	}
+	return out
+}
