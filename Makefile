@@ -1,9 +1,9 @@
 # Single entry point for CI and builders: `make check` is the tier-1 gate.
 GO ?= go
 
-.PHONY: check fmt vet build test race analyze figures bench-snapshot bench-smoke bench-sim bench-sim-snapshot bench-sim-smoke fault-smoke
+.PHONY: check fmt vet build test race analyze figures bench-snapshot bench-smoke bench-sim bench-sim-snapshot bench-sim-smoke fault-smoke replay-smoke
 
-check: fmt vet build test race analyze bench-smoke bench-sim-smoke fault-smoke
+check: fmt vet build test race analyze bench-smoke bench-sim-smoke fault-smoke replay-smoke
 
 # gofmt -l prints offending files; any output is a failure.
 fmt:
@@ -74,3 +74,27 @@ bench-sim-smoke:
 # reordering a message.
 fault-smoke:
 	$(GO) test ./internal/mpi -run 'TestFaultMatrix|TestEviction' -count=1
+
+# Capture/replay round trip on the real binaries: record a run, re-render
+# the trace offline, require byte identity with the live artifact, then
+# exercise -diff on both verdicts — same-Config runs (different seeds are
+# byte-identical under fault-free CG, so the diff must exit 0) and
+# different-policy runs (the diff must flag the divergence and exit 1).
+replay-smoke:
+	@tmp=$$(mktemp -d) || exit 1; \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	set -e; \
+	$(GO) build -o $$tmp/mpirun-sim ./cmd/mpirun-sim; \
+	$(GO) build -o $$tmp/viampi-replay ./cmd/viampi-replay; \
+	$$tmp/mpirun-sim -np 8 -conn ondemand -seed 1 -record $$tmp/a.bin -trace $$tmp/live.json CG S > /dev/null; \
+	$$tmp/viampi-replay -trace $$tmp/replay.json $$tmp/a.bin > /dev/null; \
+	cmp -s $$tmp/live.json $$tmp/replay.json || { echo "replay-smoke: replayed trace differs from live artifact"; exit 1; }; \
+	$$tmp/viampi-replay -summary $$tmp/a.bin > /dev/null; \
+	$$tmp/mpirun-sim -np 8 -conn ondemand -seed 2 -record $$tmp/b.bin CG S > /dev/null; \
+	$$tmp/viampi-replay -diff $$tmp/a.bin $$tmp/b.bin > /dev/null \
+		|| { echo "replay-smoke: same-Config bundles reported divergent"; exit 1; }; \
+	$$tmp/mpirun-sim -np 8 -conn static-p2p -seed 1 -record $$tmp/c.bin CG S > /dev/null; \
+	if $$tmp/viampi-replay -diff $$tmp/a.bin $$tmp/c.bin > /dev/null; then \
+		echo "replay-smoke: diff failed to flag divergent runs"; exit 1; \
+	fi; \
+	echo "replay-smoke: record -> replay byte-identical; diff verdicts correct"

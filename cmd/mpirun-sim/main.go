@@ -16,6 +16,7 @@ import (
 	"viampi/internal/mpi"
 	"viampi/internal/npb"
 	"viampi/internal/obs"
+	"viampi/internal/obs/capture"
 	"viampi/internal/simnet"
 	"viampi/internal/trace"
 	"viampi/internal/via"
@@ -33,6 +34,7 @@ func main() {
 		traceTo = flag.String("trace", "", "write a Perfetto/Chrome trace-event JSON `file`")
 		metrics = flag.Bool("metrics", false, "print the metrics registry after the run")
 		phases  = flag.Bool("phases", false, "print the per-rank phase decomposition after the run")
+		record  = flag.String("record", "", "write the full event stream as a capture bundle to `file` (replay with viampi-replay)")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -71,7 +73,7 @@ func main() {
 
 	var flight *obs.Recorder
 	var reg *obs.Registry
-	if *traceTo != "" || *metrics || *phases {
+	if *traceTo != "" || *metrics || *phases || *record != "" {
 		cfg.Obs = obs.NewBus()
 	}
 	if *traceTo != "" {
@@ -81,6 +83,30 @@ func main() {
 	if *metrics {
 		reg = obs.NewRegistry()
 		obs.NewCollector(reg).Attach(cfg.Obs)
+	}
+	var cw *capture.Writer
+	var cf *os.File
+	if *record != "" {
+		var err error
+		if cf, err = os.Create(*record); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cw, err = capture.NewWriter(cf, capture.Header{
+			Clock:  capture.ClockVirtual,
+			World:  *np,
+			Seed:   *seed,
+			Device: *device,
+			Policy: *conn,
+			Label:  flag.Arg(0) + "." + flag.Arg(1),
+			Config: fmt.Sprintf("bench=%s class=%s np=%d device=%s conn=%s wait=%s seed=%d",
+				flag.Arg(0), flag.Arg(1), *np, *device, *conn, *wait, *seed),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cw.Attach(cfg.Obs)
 	}
 	res, w, err := npb.Run(kern, class, cfg)
 	if err != nil {
@@ -126,5 +152,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %d events to %s (open in ui.perfetto.dev)\n", flight.Len(), *traceTo)
+	}
+	if cw != nil {
+		err := cw.Close()
+		if cerr := cf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nrecorded %d events (%d bundle bytes) to %s\n", cw.Events(), cw.Bytes(), *record)
 	}
 }

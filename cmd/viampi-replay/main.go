@@ -1,0 +1,154 @@
+// Command viampi-replay re-renders, summarizes, and diffs capture bundles
+// recorded with mpirun-sim -record (or dumped by the tcpvia flight
+// recorder) — the offline half of the obs pipeline. Because every exporter
+// is a pure function of the event stream, replaying a bundle through the
+// same consumers reproduces the live run's artifacts byte for byte: the
+// Perfetto trace, the metrics registry in any format, the phase table.
+//
+// Examples:
+//
+//	viampi-replay -summary run.bin
+//	viampi-replay -trace trace.json run.bin
+//	viampi-replay -metrics -phases run.bin
+//	viampi-replay -csv metrics.csv -json metrics.json run.bin
+//	viampi-replay -diff a.bin b.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"viampi/internal/obs"
+	"viampi/internal/obs/capture"
+)
+
+func main() {
+	var (
+		summary = flag.Bool("summary", false, "print the bundle header and per-kind event counts")
+		traceTo = flag.String("trace", "", "re-render the Perfetto/Chrome trace-event JSON to `file`")
+		metrics = flag.Bool("metrics", false, "print the metrics registry (text form)")
+		csvTo   = flag.String("csv", "", "write the metrics registry as CSV to `file`")
+		jsonTo  = flag.String("json", "", "write the metrics registry as JSON to `file`")
+		phases  = flag.Bool("phases", false, "print the per-rank phase decomposition")
+		diff    = flag.Bool("diff", false, "compare two bundles: first structural divergence and per-kind deltas")
+	)
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: viampi-replay -diff a.bin b.bin")
+			os.Exit(2)
+		}
+		a, b := readBundle(flag.Arg(0)), readBundle(flag.Arg(1))
+		d := capture.Diff(a, b)
+		if err := d.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !d.Identical() {
+			os.Exit(1) // differing runs exit nonzero, like diff(1)
+		}
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: viampi-replay [flags] bundle.bin")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if !*summary && *traceTo == "" && !*metrics && *csvTo == "" && *jsonTo == "" && !*phases {
+		*summary = true // bare invocation: show what the bundle is
+	}
+	b := readBundle(flag.Arg(0))
+
+	if *summary {
+		writeSummary(os.Stdout, b)
+	}
+
+	// Feed the bundle through the same consumers a live run attaches; each
+	// exporter's output is then byte-identical to what the run produced.
+	bus := obs.NewBus()
+	var flight *obs.Recorder
+	var reg *obs.Registry
+	if *traceTo != "" {
+		flight = obs.NewRecorder()
+		flight.Attach(bus)
+	}
+	if *metrics || *csvTo != "" || *jsonTo != "" {
+		reg = obs.NewRegistry()
+		obs.NewCollector(reg).Attach(bus)
+	}
+	b.EmitAll(bus)
+
+	if *traceTo != "" {
+		toFile(*traceTo, func(f *os.File) error { return flight.WritePerfetto(f) })
+		fmt.Printf("wrote %d events to %s (open in ui.perfetto.dev)\n", flight.Len(), *traceTo)
+	}
+	if *metrics {
+		reg.WriteText(os.Stdout)
+	}
+	if *csvTo != "" {
+		toFile(*csvTo, func(f *os.File) error { reg.WriteCSV(f); return nil })
+	}
+	if *jsonTo != "" {
+		toFile(*jsonTo, func(f *os.File) error { reg.WriteJSON(f); return nil })
+	}
+	if *phases {
+		obs.WritePhaseTable(os.Stdout, b.PhaseRows())
+	}
+}
+
+func readBundle(path string) *capture.Bundle {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	b, err := capture.ReadBundle(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return b
+}
+
+func toFile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = write(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// writeSummary prints the header and a per-kind census — the quick "what is
+// this file" view.
+func writeSummary(f *os.File, b *capture.Bundle) {
+	h := b.Header
+	fmt.Fprintf(f, "bundle: version=%d clock=%s digest=%s\n", h.Version, h.Clock, h.Digest())
+	fmt.Fprintf(f, "run   : world=%d seed=%d device=%s policy=%s label=%q\n", h.World, h.Seed, h.Device, h.Policy, h.Label)
+	if h.Config != "" {
+		fmt.Fprintf(f, "config: %s\n", h.Config)
+	}
+	var counts [capture.NumKinds + 1]int64
+	var span int64
+	for _, e := range b.Events {
+		counts[e.Kind]++
+		if e.T > span {
+			span = e.T
+		}
+	}
+	fmt.Fprintf(f, "events: %d spanning %d ns (%s time)\n", len(b.Events), span, h.Clock)
+	for k := 1; k <= capture.NumKinds; k++ {
+		if counts[k] > 0 {
+			fmt.Fprintf(f, "  %-16s %10d\n", obs.Kind(k).String(), counts[k])
+		}
+	}
+}

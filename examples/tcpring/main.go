@@ -2,24 +2,108 @@
 // TCP loopback pass a token around a ring under both static and on-demand
 // connection management, reporting wall-clock latency and — the paper's
 // point — how many connections each policy actually built.
+//
+// With -record it doubles as a demo of the live flight recorder: every
+// node's connection and message events are kept in a bounded in-memory ring
+// (wall-clock stamps) and dumped as capture bundles at exit — or on
+// SIGINT/SIGTERM, or on a crash — for offline inspection with
+// viampi-replay. -snapshot additionally tails periodic metrics JSON to a
+// file while the run is live.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
+	"viampi/internal/obs"
+	"viampi/internal/obs/capture"
 	"viampi/internal/tcpvia"
 )
 
+var (
+	np       = flag.Int("np", 6, "number of nodes")
+	laps     = flag.Int("laps", 50, "times the token circles the ring")
+	record   = flag.String("record", "", "dump per-node flight-recorder bundles to `dir` (on exit, signal, or crash)")
+	ringCap  = flag.Int("ring", 4096, "events retained per node's flight-recorder ring")
+	snapshot = flag.String("snapshot", "", "append periodic metrics JSON snapshots to `file`")
+	snapMs   = flag.Int("snapshot-ms", 200, "snapshot interval in milliseconds")
+)
+
+// flightLogs collects every live EventLog so one dump covers all nodes of
+// the current policy round.
+var (
+	flightMu   sync.Mutex
+	flightLogs map[string]*tcpvia.EventLog // bundle filename -> log
+)
+
+// dumpFlightRecorders writes each registered ring to its bundle file. Safe
+// to call from the signal handler or the crash path.
+func dumpFlightRecorders(reason string) {
+	flightMu.Lock()
+	defer flightMu.Unlock()
+	if len(flightLogs) == 0 {
+		return
+	}
+	for name, l := range flightLogs {
+		path := *record + "/" + name
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flight dump %s: %v\n", path, err)
+			continue
+		}
+		kept, dropped, err := l.DumpRing(f)
+		cerr := f.Close()
+		if err != nil || cerr != nil {
+			fmt.Fprintf(os.Stderr, "flight dump %s: %v %v\n", path, err, cerr)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "flight recorder (%s): %s — %d events kept, %d evicted\n",
+			reason, path, kept, dropped)
+	}
+	flightLogs = map[string]*tcpvia.EventLog{}
+}
+
 func main() {
-	var (
-		np   = flag.Int("np", 6, "number of nodes")
-		laps = flag.Int("laps", 50, "times the token circles the ring")
-	)
 	flag.Parse()
+
+	if *record != "" {
+		if err := os.MkdirAll(*record, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		flightLogs = map[string]*tcpvia.EventLog{}
+		// Flush-on-signal: an interrupted run still leaves its bundles.
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+		go func() {
+			s := <-sigs
+			dumpFlightRecorders(s.String())
+			os.Exit(1)
+		}()
+		// Flush-on-crash: a panic dumps the rings before dying.
+		defer func() {
+			if r := recover(); r != nil {
+				dumpFlightRecorders("panic")
+				panic(r)
+			}
+		}()
+	}
+
+	var snapOut io.Writer
+	if *snapshot != "" {
+		f, err := os.Create(*snapshot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		snapOut = f
+	}
 
 	for _, policy := range []string{"static", "ondemand"} {
 		nodes := make([]*tcpvia.Node, *np)
@@ -32,6 +116,25 @@ func main() {
 			nodes[i] = n
 			peers[i] = n.Addr()
 		}
+		logs := make([]*tcpvia.EventLog, *np)
+		if *record != "" {
+			for i := range logs {
+				l, err := tcpvia.NewEventLog(capture.Header{
+					World:  *np,
+					Device: "tcpvia",
+					Policy: policy,
+					Label:  "tcpring",
+					Config: fmt.Sprintf("np=%d laps=%d policy=%s rank=%d", *np, *laps, policy, i),
+				}, *ringCap, nil)
+				if err != nil {
+					log.Fatal(err)
+				}
+				logs[i] = l
+				flightMu.Lock()
+				flightLogs[fmt.Sprintf("tcpring-%s-rank%d.bin", policy, i)] = l
+				flightMu.Unlock()
+			}
+		}
 		mgrs := make([]*tcpvia.Manager, *np)
 		var wg sync.WaitGroup
 		setup := time.Now()
@@ -40,10 +143,16 @@ func main() {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				m, err := tcpvia.NewManager(tcpvia.ManagerConfig{
+				cfg := tcpvia.ManagerConfig{
 					Node: nodes[i], Rank: i, Peers: peers, Policy: policy,
-					Timeout: 10 * time.Second,
-				})
+					Timeout: 10 * time.Second, Log: logs[i],
+				}
+				if i == 0 && snapOut != nil {
+					cfg.Metrics = obs.NewRegistry()
+					cfg.SnapshotEvery = time.Duration(*snapMs) * time.Millisecond
+					cfg.SnapshotTo = snapOut
+				}
+				m, err := tcpvia.NewManager(cfg)
 				if err != nil {
 					log.Fatalf("manager %d: %v", i, err)
 				}
@@ -99,6 +208,9 @@ func main() {
 		}
 		for _, n := range nodes {
 			n.Close()
+		}
+		if *record != "" {
+			dumpFlightRecorders("exit:" + policy)
 		}
 	}
 }

@@ -15,27 +15,89 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"viampi/internal/apps"
 	"viampi/internal/mpi"
 	"viampi/internal/obs"
+	"viampi/internal/obs/capture"
 	"viampi/internal/simnet"
 	"viampi/internal/trace"
 	"viampi/internal/via"
 )
 
+// attachCapture wires a capture writer onto the run's bus so a divergence
+// leaves behind two diffable bundles instead of just two hashes.
+func attachCapture(t *testing.T, cfg *mpi.Config, rounds, msgBytes int) (*capture.Writer, *bytes.Buffer) {
+	t.Helper()
+	var bundle bytes.Buffer
+	cw, err := capture.NewWriter(&bundle, capture.Header{
+		Clock:  capture.ClockVirtual,
+		World:  cfg.Procs,
+		Seed:   cfg.Seed,
+		Device: cfg.Device,
+		Policy: cfg.Policy,
+		Label:  "CG.replay",
+		Config: fmt.Sprintf("procs=%d policy=%s seed=%d maxvis=%d rounds=%d msgBytes=%d",
+			cfg.Procs, cfg.Policy, cfg.Seed, cfg.MaxVIs, rounds, msgBytes),
+	})
+	if err != nil {
+		t.Fatalf("capture writer: %v", err)
+	}
+	cw.Attach(cfg.Obs)
+	return cw, &bundle
+}
+
+// reportDivergence persists both runs' capture bundles outside the test's
+// temp sandbox and logs the aligned diff — turning "the digests differ"
+// into "the first divergent event is this one".
+func reportDivergence(t *testing.T, first, second []byte) {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "viampi-divergence-")
+	if err != nil {
+		t.Logf("cannot persist divergence bundles: %v", err)
+		return
+	}
+	p1, p2 := filepath.Join(dir, "run1.bin"), filepath.Join(dir, "run2.bin")
+	if err := os.WriteFile(p1, first, 0o644); err != nil {
+		t.Logf("writing %s: %v", p1, err)
+	}
+	if err := os.WriteFile(p2, second, 0o644); err != nil {
+		t.Logf("writing %s: %v", p2, err)
+	}
+	a, errA := capture.ReadBundle(bytes.NewReader(first))
+	b, errB := capture.ReadBundle(bytes.NewReader(second))
+	if errA != nil || errB != nil {
+		t.Logf("bundles saved to %s (decode errors: %v / %v)", dir, errA, errB)
+		return
+	}
+	var out bytes.Buffer
+	if err := capture.Diff(a, b).WriteText(&out); err != nil {
+		t.Logf("bundles saved to %s (diff render: %v)", dir, err)
+		return
+	}
+	t.Logf("capture bundles saved to %s (inspect with viampi-replay)\n%s", dir, out.String())
+}
+
 // runDigest executes one replay of the CG communication pattern under cfg
 // and folds everything observable about the run — the full timestamped
-// event log plus per-rank statistics — into one hash.
-func runDigest(t *testing.T, cfg mpi.Config, rounds, msgBytes int) string {
+// event log plus per-rank statistics — into one hash. The returned bundle
+// is the run's full capture, fed to reportDivergence when digests differ.
+func runDigest(t *testing.T, cfg mpi.Config, rounds, msgBytes int) (string, []byte) {
 	t.Helper()
 	rec := trace.New(cfg.Procs, true)
 	cfg.Trace = rec
+	cfg.Obs = obs.NewBus()
 	cfg.Deadline = 30 * simnet.Second
+	cw, bundle := attachCapture(t, &cfg, rounds, msgBytes)
 	w, err := apps.Replay(apps.CG(), cfg, rounds, msgBytes)
 	if err != nil {
 		t.Fatalf("replay (%s, %d procs): %v", cfg.Policy, cfg.Procs, err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatalf("sealing capture bundle: %v", err)
 	}
 
 	h := sha256.New()
@@ -59,7 +121,7 @@ func runDigest(t *testing.T, cfg mpi.Config, rounds, msgBytes int) string {
 	if len(rec.Events()) == 0 {
 		t.Fatalf("replay (%s, %d procs) recorded no trace events; the digest would be vacuous", cfg.Policy, cfg.Procs)
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	return hex.EncodeToString(h.Sum(nil)), bundle.Bytes()
 }
 
 // TestDualRunDeterminism asserts byte-identical digests for every
@@ -71,9 +133,10 @@ func TestDualRunDeterminism(t *testing.T) {
 			name := fmt.Sprintf("%s/p%d", policy, procs)
 			t.Run(name, func(t *testing.T) {
 				cfg := mpi.Config{Procs: procs, Policy: policy, Seed: 42}
-				first := runDigest(t, cfg, rounds, msgBytes)
-				second := runDigest(t, cfg, rounds, msgBytes)
+				first, fb := runDigest(t, cfg, rounds, msgBytes)
+				second, sb := runDigest(t, cfg, rounds, msgBytes)
 				if first != second {
+					reportDivergence(t, fb, sb)
 					t.Fatalf("two runs with identical Configs diverged:\n  run 1: %s\n  run 2: %s", first, second)
 				}
 			})
@@ -90,9 +153,10 @@ func TestEvictionDualRunDeterminism(t *testing.T) {
 	for _, procs := range []int{8, 16} {
 		t.Run(fmt.Sprintf("p%d", procs), func(t *testing.T) {
 			cfg := mpi.Config{Procs: procs, Policy: "ondemand", MaxVIs: 3, Seed: 42}
-			first := runDigest(t, cfg, rounds, msgBytes)
-			second := runDigest(t, cfg, rounds, msgBytes)
+			first, fb := runDigest(t, cfg, rounds, msgBytes)
+			second, sb := runDigest(t, cfg, rounds, msgBytes)
 			if first != second {
+				reportDivergence(t, fb, sb)
 				t.Fatalf("capped runs with identical Configs diverged:\n  run 1: %s\n  run 2: %s", first, second)
 			}
 		})
@@ -111,10 +175,11 @@ func TestFaultDualRunDeterminism(t *testing.T) {
 	for _, policy := range []string{"static-p2p", "ondemand"} {
 		t.Run(policy, func(t *testing.T) {
 			cfg := mpi.Config{Procs: 8, Policy: policy, Seed: 42, Faults: plan()}
-			first := runDigest(t, cfg, rounds, msgBytes)
+			first, fb := runDigest(t, cfg, rounds, msgBytes)
 			cfg.Faults = plan()
-			second := runDigest(t, cfg, rounds, msgBytes)
+			second, sb := runDigest(t, cfg, rounds, msgBytes)
 			if first != second {
+				reportDivergence(t, fb, sb)
 				t.Fatalf("faulted runs with identical Configs diverged:\n  run 1: %s\n  run 2: %s", first, second)
 			}
 		})
@@ -125,7 +190,7 @@ func TestFaultDualRunDeterminism(t *testing.T) {
 // (flight recorder + metrics collector on one bus) and hashes the rendered
 // artifacts — the Perfetto trace JSON and the metrics JSON must themselves
 // be byte-identical across same-Config runs, not merely the raw events.
-func obsDigest(t *testing.T, cfg mpi.Config, rounds, msgBytes int) string {
+func obsDigest(t *testing.T, cfg mpi.Config, rounds, msgBytes int) (string, []byte) {
 	t.Helper()
 	bus := obs.NewBus()
 	rec := obs.NewRecorder()
@@ -134,8 +199,12 @@ func obsDigest(t *testing.T, cfg mpi.Config, rounds, msgBytes int) string {
 	obs.NewCollector(reg).Attach(bus)
 	cfg.Obs = bus
 	cfg.Deadline = 30 * simnet.Second
+	cw, bundle := attachCapture(t, &cfg, rounds, msgBytes)
 	if _, err := apps.Replay(apps.CG(), cfg, rounds, msgBytes); err != nil {
 		t.Fatalf("replay (%s, %d procs): %v", cfg.Policy, cfg.Procs, err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatalf("sealing capture bundle: %v", err)
 	}
 	if rec.Len() == 0 {
 		t.Fatal("observability run recorded no events; the digest would be vacuous")
@@ -148,7 +217,7 @@ func obsDigest(t *testing.T, cfg mpi.Config, rounds, msgBytes int) string {
 	h := sha256.New()
 	h.Write(tr.Bytes())
 	h.Write(mt.Bytes())
-	return hex.EncodeToString(h.Sum(nil))
+	return hex.EncodeToString(h.Sum(nil)), bundle.Bytes()
 }
 
 // TestObsDualRunDeterminism asserts the exported observability artifacts
@@ -159,9 +228,10 @@ func TestObsDualRunDeterminism(t *testing.T) {
 	for _, policy := range []string{"static-p2p", "ondemand"} {
 		t.Run(policy, func(t *testing.T) {
 			cfg := mpi.Config{Procs: 8, Policy: policy, Seed: 42}
-			first := obsDigest(t, cfg, rounds, msgBytes)
-			second := obsDigest(t, cfg, rounds, msgBytes)
+			first, fb := obsDigest(t, cfg, rounds, msgBytes)
+			second, sb := obsDigest(t, cfg, rounds, msgBytes)
 			if first != second {
+				reportDivergence(t, fb, sb)
 				t.Fatalf("observability artifacts diverged across identical runs:\n  run 1: %s\n  run 2: %s", first, second)
 			}
 		})
@@ -174,14 +244,14 @@ func TestObsDualRunDeterminism(t *testing.T) {
 // that matters.
 func TestDigestTracksTheConfig(t *testing.T) {
 	const rounds, msgBytes = 2, 1024
-	base := runDigest(t, mpi.Config{Procs: 8, Policy: "ondemand", Seed: 42}, rounds, msgBytes)
-	if got := runDigest(t, mpi.Config{Procs: 8, Policy: "static-cs", Seed: 42}, rounds, msgBytes); got == base {
+	base, _ := runDigest(t, mpi.Config{Procs: 8, Policy: "ondemand", Seed: 42}, rounds, msgBytes)
+	if got, _ := runDigest(t, mpi.Config{Procs: 8, Policy: "static-cs", Seed: 42}, rounds, msgBytes); got == base {
 		t.Error("digest identical across connection managers; trace is not capturing connection traffic timing")
 	}
-	if got := runDigest(t, mpi.Config{Procs: 16, Policy: "ondemand", Seed: 42}, rounds, msgBytes); got == base {
+	if got, _ := runDigest(t, mpi.Config{Procs: 16, Policy: "ondemand", Seed: 42}, rounds, msgBytes); got == base {
 		t.Error("digest identical across job sizes")
 	}
-	if got := runDigest(t, mpi.Config{Procs: 8, Policy: "ondemand", Seed: 42}, rounds, 2*msgBytes); got == base {
+	if got, _ := runDigest(t, mpi.Config{Procs: 8, Policy: "ondemand", Seed: 42}, rounds, 2*msgBytes); got == base {
 		t.Error("digest identical across message sizes")
 	}
 }

@@ -47,6 +47,7 @@ func TestFixtureDiagnostics(t *testing.T) {
 		"internal/mpi/maporder.go:9: maporder",        // append of values in map order
 		"internal/mpi/maporder.go:18: maporder",       // keys collected, never sorted
 		"internal/mpi/maporder.go:51: maporder",       // per-entry call
+		"internal/obs/maporder.go:11: maporder",       // commutative body in a MapOrderStrict package
 		"internal/obs/obs.go:17: exhaustive",          // strict String misses EvC despite default
 		"internal/tcpvia/lockorder.go:8: determinism", // sync import (leaf exemption stripped)
 		"internal/tcpvia/lockorder.go:47: lockorder",  // PairBA closes the Node.mu/Channel.mu cycle

@@ -22,7 +22,13 @@ therefore different virtual timestamps and figures — on every execution,
 even with identical Configs. Purely commutative bodies (counting, summing,
 writing into another map) are safe and allowed. The fix is the sorted-keys
 idiom: collect the keys into a slice, sort it, then range over the slice;
-the analyzer recognizes both halves of that idiom.`,
+the analyzer recognizes both halves of that idiom.
+
+Packages listed in policy MapOrderStrict are held to a stricter bar: every
+map iteration there must be the sorted-keys idiom, commutative or not.
+Those are the emission packages whose output is compared byte-for-byte, so
+an "order-insensitive" loop is one edit away from leaking map order into a
+golden file.`,
 		Run: runMapOrder,
 	}
 }
@@ -42,6 +48,7 @@ func runMapOrder(m *Module, p *Policy) []Diagnostic {
 		if pkg.Info == nil {
 			continue
 		}
+		_, strict := p.MapOrderStrict[pkg.Rel]
 		for _, file := range pkg.Files {
 			for _, decl := range file.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
@@ -57,7 +64,7 @@ func runMapOrder(m *Module, p *Policy) []Diagnostic {
 					if !ok || !isMapRange(pkg.Info, rs) {
 						return true
 					}
-					if d, bad := checkMapRange(m, pkg, fd, rs, qual); bad {
+					if d, bad := checkMapRange(m, pkg, fd, rs, qual, strict); bad {
 						ds = append(ds, d)
 					}
 					return true
@@ -81,7 +88,7 @@ func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
 // checkMapRange classifies one map-range body. It returns a diagnostic for
 // order-sensitive bodies that are neither pure accumulation nor the
 // key-collection half of the sorted-keys idiom.
-func checkMapRange(m *Module, pkg *Package, fd *ast.FuncDecl, rs *ast.RangeStmt, qual string) (Diagnostic, bool) {
+func checkMapRange(m *Module, pkg *Package, fd *ast.FuncDecl, rs *ast.RangeStmt, qual string, strict bool) (Diagnostic, bool) {
 	keyObj := rangeKeyObject(pkg.Info, rs)
 
 	var reason string
@@ -129,9 +136,18 @@ func checkMapRange(m *Module, pkg *Package, fd *ast.FuncDecl, rs *ast.RangeStmt,
 		return true
 	})
 
-	// Pure commutative body: nothing ordered touched.
+	// Pure commutative body: nothing ordered touched. Accepted everywhere
+	// except strict packages, where only the sorted-keys idiom passes.
 	if reason == "" && len(appendTargets) == 0 {
-		return Diagnostic{}, false
+		if !strict {
+			return Diagnostic{}, false
+		}
+		return Diagnostic{
+			Pos:  m.Position(rs.Pos()),
+			Rule: "maporder",
+			Message: fmt.Sprintf("strict maporder package: iteration over map %s must use the collect-keys-then-sort idiom even with a commutative body (or allowlist %s in policy.go)",
+				exprLabel(rs.X), qual),
+		}, true
 	}
 
 	// Key-collection idiom: the only ordered effect is appending the range

@@ -48,6 +48,14 @@ type Policy struct {
 	// enclosingFuncName) from the map-iteration-order rule, with a
 	// justification for each.
 	MapOrderAllow map[string]string
+	// MapOrderStrict lists packages where the maporder rule runs in strict
+	// mode: every map iteration must use the collect-keys-then-sort idiom,
+	// even bodies the relaxed rule accepts as commutative. These are the
+	// emission packages — code whose output is compared byte-for-byte
+	// (metrics text/CSV/JSON, capture bundles), where "commutative today"
+	// quietly becomes "ordered tomorrow" when someone adds a print. The
+	// value is the reason the package is held to the stricter bar.
+	MapOrderStrict map[string]string
 
 	// ChargeRequired lists fabric/simnet entry points that model hardware
 	// doing work; a via/core function invoking one must charge host CPU
@@ -150,8 +158,9 @@ func DefaultPolicy() *Policy {
 			// back into the simulation (obs imports nothing; trace imports
 			// obs to subscribe). Keeping them leaves guarantees
 			// instrumentation can never alter what it observes.
-			"internal/obs":   true,
-			"internal/trace": true,
+			"internal/obs":         true,
+			"internal/obs/capture": true,
+			"internal/trace":       true,
 		},
 		RestrictedLeaves: map[string]bool{
 			"internal/tcpvia":   true,
@@ -178,6 +187,10 @@ func DefaultPolicy() *Policy {
 		},
 
 		MapOrderAllow: map[string]string{},
+		MapOrderStrict: map[string]string{
+			"internal/obs":         "metrics/trace emission: output is golden-tested byte-for-byte, so every map walk must go through sorted keys",
+			"internal/obs/capture": "bundle encoding: record and replay must produce identical bytes, so no map walk may touch the stream",
+		},
 
 		ChargeRequired: map[string]bool{
 			"internal/fabric.(Cluster).Send":       true,
@@ -209,14 +222,15 @@ func DefaultPolicy() *Policy {
 		},
 
 		ExhaustiveStrict: map[string]string{
-			"internal/obs.(Kind).String":       "wire-stable export names: a kind falling to \"unknown\" silently corrupts every metrics key and trace label",
-			"internal/obs.writeEvent":          "Perfetto mapper: an unmapped kind vanishes from the timeline without any error",
-			"internal/obs.(Phase).String":      "phase table column names; a phase falling to the fallback breaks the report schema",
-			"internal/via.(Status).String":     "descriptor status names appear in test failures and ErrBadState messages",
-			"internal/via.(ViState).String":    "VI state names appear in test failures and ErrBadState messages",
-			"internal/mpi.pktKindString":       "packet kind names appear in protocol failure messages",
-			"internal/mpi.(SendMode).String":   "send mode names appear in profiles",
-			"internal/tcpvia.(ViState).String": "real-socket twin mirrors via.ViState.String",
+			"internal/obs.(Kind).String":          "wire-stable export names: a kind falling to \"unknown\" silently corrupts every metrics key and trace label",
+			"internal/obs.writeEvent":             "Perfetto mapper: an unmapped kind vanishes from the timeline without any error",
+			"internal/obs.(Phase).String":         "phase table column names; a phase falling to the fallback breaks the report schema",
+			"internal/via.(Status).String":        "descriptor status names appear in test failures and ErrBadState messages",
+			"internal/via.(ViState).String":       "VI state names appear in test failures and ErrBadState messages",
+			"internal/mpi.pktKindString":          "packet kind names appear in protocol failure messages",
+			"internal/mpi.(SendMode).String":      "send mode names appear in profiles",
+			"internal/tcpvia.(ViState).String":    "real-socket twin mirrors via.ViState.String",
+			"internal/obs/capture.(Clock).String": "clock-source names appear in bundle summaries and diff reports; a new source falling to \"unknown\" mislabels every report",
 		},
 		EnumExclude: map[string]string{
 			"internal/obs.NumPhases": "count sentinel for array sizing, not a phase any exporter must handle",
@@ -265,27 +279,30 @@ func DefaultPolicy() *Policy {
 
 		LeafLocks: map[string]string{
 			"internal/tcpvia.(Manager).metricsMu": "guards the obs metrics registry only; acquired last, released before any node/channel lock or call back into the stack",
+			"internal/tcpvia.(EventLog).mu":       "guards the wall-clock capture sinks (ring + stream writer) only; acquired last, never held across a call back into the stack",
 		},
 		LockExempt:     map[string]string{},
 		LockOrderAllow: map[string]string{},
 
 		HotPaths: map[string]string{
-			"internal/obs.(Bus).Emit":            "nil-bus disabled path runs on every instrumented event; pinned at zero allocations by BenchmarkEmitDisabled",
-			"internal/obs.(Phases).Add":          "called on every progress pass and blocking wait",
-			"internal/mpi.(Rank).progress":       "MPID_DeviceCheck wrapper, entered on every MPI call",
-			"internal/mpi.(Rank).progressStep":   "per-poll channel scan; an allocation here scales with poll count, not traffic",
-			"internal/mpi.(Rank).waitProgress":   "blocking-wait loop around progress",
-			"internal/mpi.(Rank).blockedPhase":   "classifier inside the blocking-wait loop",
-			"internal/mpi.(Rank).obsSend":        "nil-bus emit helper on the send fast path",
-			"internal/mpi.(Rank).obsRecv":        "nil-bus emit helper on the receive fast path",
-			"internal/mpi.(Rank).obsGauge":       "nil-bus emit helper in the progress engine",
-			"internal/mpi.(Rank).obsUnexpected":  "nil-bus emit helper on the unexpected-queue path",
-			"internal/via.(Port).notifyActivity": "runs on every completion and state change",
-			"internal/via.(Port).ChargeHost":     "runs on every post/poll; the cost model itself must cost nothing",
-			"internal/via.(Port).FlushDebt":      "cost-model flush on the block/charge path",
-			"internal/via.(VI).SendDone":         "send-completion poll, called in a drain loop every progress pass",
-			"internal/via.(VI).recvDone":         "receive-completion poll on the wait path",
-			"internal/via.(CQ).Done":             "completion-queue poll, called in a drain loop every progress pass",
+			"internal/obs.(Bus).Emit":               "nil-bus disabled path runs on every instrumented event; pinned at zero allocations by BenchmarkEmitDisabled",
+			"internal/obs.(Phases).Add":             "called on every progress pass and blocking wait",
+			"internal/obs/capture.(Writer).Consume": "bundle encoder: runs once per bus event while recording; steady-state zero-alloc is the capture-overhead contract (append into the reused buffer, warm intern table)",
+			"internal/obs/capture.(Ring).Consume":   "bounded flight-recorder store: runs once per bus event in live tcpvia capture",
+			"internal/mpi.(Rank).progress":          "MPID_DeviceCheck wrapper, entered on every MPI call",
+			"internal/mpi.(Rank).progressStep":      "per-poll channel scan; an allocation here scales with poll count, not traffic",
+			"internal/mpi.(Rank).waitProgress":      "blocking-wait loop around progress",
+			"internal/mpi.(Rank).blockedPhase":      "classifier inside the blocking-wait loop",
+			"internal/mpi.(Rank).obsSend":           "nil-bus emit helper on the send fast path",
+			"internal/mpi.(Rank).obsRecv":           "nil-bus emit helper on the receive fast path",
+			"internal/mpi.(Rank).obsGauge":          "nil-bus emit helper in the progress engine",
+			"internal/mpi.(Rank).obsUnexpected":     "nil-bus emit helper on the unexpected-queue path",
+			"internal/via.(Port).notifyActivity":    "runs on every completion and state change",
+			"internal/via.(Port).ChargeHost":        "runs on every post/poll; the cost model itself must cost nothing",
+			"internal/via.(Port).FlushDebt":         "cost-model flush on the block/charge path",
+			"internal/via.(VI).SendDone":            "send-completion poll, called in a drain loop every progress pass",
+			"internal/via.(VI).recvDone":            "receive-completion poll on the wait path",
+			"internal/via.(CQ).Done":                "completion-queue poll, called in a drain loop every progress pass",
 			// The simnet scheduler substrate: every virtual event in every
 			// figure passes through these, so the zero-alloc property the
 			// BenchmarkSimCore rail measures is locked in statically here.

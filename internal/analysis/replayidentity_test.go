@@ -1,0 +1,130 @@
+package analysis
+
+// The capture pipeline's contract, observed end to end: every artifact a
+// live run renders (Perfetto trace, metrics in all three formats, the phase
+// table) must be byte-identical when re-rendered offline from the run's
+// capture bundle. This is what makes a bundle a faithful flight record —
+// ship the .bin, regenerate everything else.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"viampi/internal/apps"
+	"viampi/internal/mpi"
+	"viampi/internal/obs"
+	"viampi/internal/obs/capture"
+	"viampi/internal/simnet"
+)
+
+// artifacts are the rendered outputs under comparison.
+type artifacts struct {
+	perfetto, metricsText, metricsCSV, metricsJSON, phaseTable string
+}
+
+func renderFrom(t *testing.T, rec *obs.Recorder, reg *obs.Registry, rows []obs.PhaseRow) artifacts {
+	t.Helper()
+	var tr, mt, mc, mj, ph bytes.Buffer
+	if err := rec.WritePerfetto(&tr); err != nil {
+		t.Fatalf("perfetto: %v", err)
+	}
+	reg.WriteText(&mt)
+	reg.WriteCSV(&mc)
+	reg.WriteJSON(&mj)
+	obs.WritePhaseTable(&ph, rows)
+	return artifacts{tr.String(), mt.String(), mc.String(), mj.String(), ph.String()}
+}
+
+// liveRun executes the CG replay with the full consumer stack plus a capture
+// writer, returning the live artifacts and the sealed bundle bytes.
+func liveRun(t *testing.T, cfg mpi.Config, rounds, msgBytes int) (artifacts, []byte) {
+	t.Helper()
+	bus := obs.NewBus()
+	rec := obs.NewRecorder()
+	rec.Attach(bus)
+	reg := obs.NewRegistry()
+	obs.NewCollector(reg).Attach(bus)
+	cfg.Obs = bus
+	cfg.Deadline = 30 * simnet.Second
+	cw, bundle := attachCapture(t, &cfg, rounds, msgBytes)
+	w, err := apps.Replay(apps.CG(), cfg, rounds, msgBytes)
+	if err != nil {
+		t.Fatalf("replay (%s, %d procs): %v", cfg.Policy, cfg.Procs, err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatalf("sealing bundle: %v", err)
+	}
+
+	// Live phase rows come from the World, exactly as mpi.World.WritePhases
+	// builds them.
+	var rows []obs.PhaseRow
+	for _, rs := range w.Ranks {
+		if rs.Phases != nil {
+			rows = append(rows, obs.PhaseRow{Rank: rs.Rank, Elapsed: int64(w.Elapsed), P: rs.Phases})
+		}
+	}
+	if len(rows) != cfg.Procs {
+		t.Fatalf("%d phase rows for %d ranks", len(rows), cfg.Procs)
+	}
+	return renderFrom(t, rec, reg, rows), bundle.Bytes()
+}
+
+// replayBundle decodes the bundle and re-renders every artifact through
+// fresh consumers.
+func replayBundle(t *testing.T, raw []byte) artifacts {
+	t.Helper()
+	b, err := capture.ReadBundle(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("decoding bundle: %v", err)
+	}
+	bus := obs.NewBus()
+	rec := obs.NewRecorder()
+	rec.Attach(bus)
+	reg := obs.NewRegistry()
+	obs.NewCollector(reg).Attach(bus)
+	b.EmitAll(bus)
+	return renderFrom(t, rec, reg, b.PhaseRows())
+}
+
+func compareArtifacts(t *testing.T, live, replayed artifacts) {
+	t.Helper()
+	check := func(name, a, b string) {
+		if a == b {
+			return
+		}
+		// Find the first differing line for an actionable failure.
+		la, lb := bytes.Split([]byte(a), []byte("\n")), bytes.Split([]byte(b), []byte("\n"))
+		for i := 0; i < len(la) && i < len(lb); i++ {
+			if !bytes.Equal(la[i], lb[i]) {
+				t.Errorf("%s differs at line %d:\n  live:   %s\n  replay: %s", name, i+1, la[i], lb[i])
+				return
+			}
+		}
+		t.Errorf("%s differs in length: live %d bytes, replay %d bytes", name, len(a), len(b))
+	}
+	check("perfetto trace", live.perfetto, replayed.perfetto)
+	check("metrics text", live.metricsText, replayed.metricsText)
+	check("metrics CSV", live.metricsCSV, replayed.metricsCSV)
+	check("metrics JSON", live.metricsJSON, replayed.metricsJSON)
+	check("phase table", live.phaseTable, replayed.phaseTable)
+}
+
+// TestReplayReproducesLiveArtifacts is the record→replay identity matrix:
+// 8 and 16 ranks under both connection-policy families.
+func TestReplayReproducesLiveArtifacts(t *testing.T) {
+	const rounds, msgBytes = 2, 1024
+	for _, policy := range []string{"static-p2p", "ondemand"} {
+		for _, procs := range []int{8, 16} {
+			t.Run(fmt.Sprintf("%s/p%d", policy, procs), func(t *testing.T) {
+				cfg := mpi.Config{Procs: procs, Policy: policy, Seed: 42}
+				live, bundle := liveRun(t, cfg, rounds, msgBytes)
+				replayed := replayBundle(t, bundle)
+				compareArtifacts(t, live, replayed)
+				if live.perfetto == "" || live.metricsJSON == "" || live.phaseTable == "" {
+					t.Fatal("live artifacts empty; the identity check would be vacuous")
+				}
+			})
+		}
+	}
+}

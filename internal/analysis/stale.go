@@ -58,6 +58,11 @@ func StalePolicy(m *Module, p *Policy) []string {
 			report("DeterminismExempt", rel, "package")
 		}
 	}
+	for _, rel := range sortedStrKeys(p.MapOrderStrict) {
+		if !pkgExists(rel) {
+			report("MapOrderStrict", rel, "package")
+		}
+	}
 	for _, rel := range sortedBoolKeys(p.WaitWakeScope) {
 		if !pkgExists(rel) {
 			report("WaitWakeScope", rel, "package")

@@ -1,0 +1,26 @@
+// Fixture home of the strict maporder cases: fixture internal/obs is listed
+// in MapOrderStrict, so even commutative map walks must use sorted keys.
+package obs
+
+import "sort"
+
+// CountKinds is a commutative reduction the relaxed rule accepts — but in a
+// strict package it must flag.
+func CountKinds(m map[Kind]int64) int64 {
+	var total int64
+	for _, n := range m {
+		total += n
+	}
+	return total
+}
+
+// SortedKinds uses the collect-keys-then-sort idiom — must NOT flag even in
+// a strict package.
+func SortedKinds(m map[Kind]int64) []Kind {
+	keys := make([]Kind, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return int(keys[i]) < int(keys[j]) })
+	return keys
+}

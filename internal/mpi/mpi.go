@@ -442,12 +442,25 @@ func Run(cfg Config, main func(r *Rank)) (*World, error) {
 				world.Ranks[i].Profile = r.prof.stats
 			}
 			world.Ranks[i].Phases = r.phases
+			if r.bus != nil {
+				// Run-epilogue phase records: one event per phase with the
+				// rank's charged nanoseconds, so a capture bundle carries
+				// everything the phase table needs (the "other" residual is
+				// computed at render time from Elapsed, not stored).
+				for ph := obs.PhaseCompute; ph < obs.NumPhases; ph++ {
+					r.bus.Emit(obs.Event{T: int64(p.Now()), Kind: obs.EvPhase, Rank: int32(i), Peer: -1,
+						A: int64(ph), B: r.phases.Ns[ph], Name: ph.String()})
+				}
+			}
 		})
 	}
 	if err := sim.Run(); err != nil {
 		return nil, err
 	}
 	world.Elapsed = simnet.Duration(sim.Now())
+	// Close the observable record: the run's elapsed virtual time and world
+	// size, emitted exactly once after the last rank finishes.
+	bus.Emit(obs.Event{T: int64(world.Elapsed), Kind: obs.EvRunEnd, Rank: -1, Peer: -1, A: int64(n)})
 	if net.DroppedNoDescriptor > 0 {
 		return world, fmt.Errorf("mpi: flow control violated: %d receives had no descriptor", net.DroppedNoDescriptor)
 	}

@@ -1,0 +1,221 @@
+package capture
+
+import (
+	"fmt"
+	"io"
+
+	"viampi/internal/obs"
+)
+
+// Run diffing. Two bundles of the same workload are aligned event-by-event:
+// the k-th occurrence of (rank, kind) in one stream pairs with the k-th
+// occurrence of the same (rank, kind) in the other. That alignment is stable
+// under timing shifts — if a different seed or policy makes rank 3's second
+// connect happen later, it is still rank 3's second connect — so the diff
+// can separate *structural* divergence (different events happened, or the
+// same events carried different payloads) from *timing* divergence (the same
+// events at different timestamps), and point at the exact first event where
+// two runs stopped being the same run.
+
+// Divergence locates the first aligned position where the two streams
+// structurally disagree.
+type Divergence struct {
+	Index int      // position in the stream that exhibits it (A's, or B's for extra events)
+	Kind  obs.Kind // kind of the divergent event
+	Rank  int32
+	Seq   int    // occurrence index of (rank, kind) at the divergence, 0-based
+	Field string // "peer", "a", "b", "c", "name", "missing in B", "only in B"
+	EvA   *obs.Event
+	EvB   *obs.Event // nil when the event has no counterpart
+}
+
+// KindDelta aggregates one event kind across both runs: how many each side
+// emitted, and the mean timestamp shift over the aligned pairs.
+type KindDelta struct {
+	Kind    obs.Kind
+	CountA  int64
+	CountB  int64
+	Aligned int64
+	SumDtNs int64 // sum of (tB - tA) over aligned pairs
+}
+
+// MeanDtNs returns the mean timestamp shift B-relative-to-A in nanoseconds.
+func (k KindDelta) MeanDtNs() int64 {
+	if k.Aligned == 0 {
+		return 0
+	}
+	return k.SumDtNs / k.Aligned
+}
+
+// DiffResult is the full comparison of two bundles.
+type DiffResult struct {
+	HdrA, HdrB Header
+	TotalA     int64
+	TotalB     int64
+	First      *Divergence // nil when the streams align structurally
+	Kinds      []KindDelta // ascending kind order; only kinds either side emitted
+	TimeEqual  bool        // aligned pairs also share identical timestamps
+}
+
+// Identical reports whether the two bundles describe the same run record:
+// same events, same payloads, same timestamps.
+func (d *DiffResult) Identical() bool {
+	return d.First == nil && d.TimeEqual && d.TotalA == d.TotalB
+}
+
+// alignKey is the pairing identity: which endpoint emitted which kind.
+type alignKey struct {
+	rank int32
+	kind obs.Kind
+}
+
+// Diff aligns two bundles and reports where and how they differ.
+func Diff(a, b *Bundle) *DiffResult {
+	d := &DiffResult{
+		HdrA:      a.Header,
+		HdrB:      b.Header,
+		TotalA:    int64(len(a.Events)),
+		TotalB:    int64(len(b.Events)),
+		TimeEqual: true,
+	}
+
+	// Index B: per (rank, kind), the stream positions in order of occurrence.
+	bIdx := make(map[alignKey][]int, 64)
+	for i, e := range b.Events {
+		k := alignKey{e.Rank, e.Kind}
+		bIdx[k] = append(bIdx[k], i)
+	}
+
+	// Per-kind aggregates live in a dense array so emission order never
+	// depends on map iteration.
+	var agg [NumKinds + 1]KindDelta
+	for _, e := range b.Events {
+		agg[e.Kind].CountB++
+	}
+
+	// Walk A in stream order, pairing each event with its same-occurrence
+	// counterpart in B.
+	occ := make(map[alignKey]int, 64)
+	for i := range a.Events {
+		ea := &a.Events[i]
+		agg[ea.Kind].CountA++
+		k := alignKey{ea.Rank, ea.Kind}
+		seq := occ[k]
+		occ[k] = seq + 1
+		peers := bIdx[k]
+		if seq >= len(peers) {
+			if d.First == nil {
+				d.First = &Divergence{Index: i, Kind: ea.Kind, Rank: ea.Rank, Seq: seq, Field: "missing in B", EvA: ea}
+			}
+			continue
+		}
+		eb := &b.Events[peers[seq]]
+		agg[ea.Kind].Aligned++
+		agg[ea.Kind].SumDtNs += eb.T - ea.T
+		if eb.T != ea.T {
+			d.TimeEqual = false
+		}
+		if d.First == nil {
+			if f := payloadDiff(ea, eb); f != "" {
+				d.First = &Divergence{Index: i, Kind: ea.Kind, Rank: ea.Rank, Seq: seq, Field: f, EvA: ea, EvB: eb}
+			}
+		}
+	}
+
+	// Events B emitted beyond A's occurrence counts have no counterpart; the
+	// first such position is the divergence if A's walk found none.
+	if d.First == nil {
+		occB := make(map[alignKey]int, 64)
+		for i := range b.Events {
+			eb := &b.Events[i]
+			k := alignKey{eb.Rank, eb.Kind}
+			seq := occB[k]
+			occB[k] = seq + 1
+			if seq >= occ[k] {
+				d.First = &Divergence{Index: i, Kind: eb.Kind, Rank: eb.Rank, Seq: seq, Field: "only in B", EvB: eb}
+				break
+			}
+		}
+	}
+
+	for kind := 1; kind <= NumKinds; kind++ {
+		if agg[kind].CountA == 0 && agg[kind].CountB == 0 {
+			continue
+		}
+		agg[kind].Kind = obs.Kind(kind)
+		d.Kinds = append(d.Kinds, agg[kind])
+	}
+	return d
+}
+
+// payloadDiff names the first payload field two aligned events disagree on,
+// or "" when they match. Timestamps are deliberately not payload: timing
+// shifts are reported in aggregate, not as divergence.
+func payloadDiff(a, b *obs.Event) string {
+	switch {
+	case a.Peer != b.Peer:
+		return "peer"
+	case a.A != b.A:
+		return "a"
+	case a.B != b.B:
+		return "b"
+	case a.C != b.C:
+		return "c"
+	case a.Name != b.Name:
+		return "name"
+	}
+	return ""
+}
+
+// WriteText renders the diff as a fixed-layout report: header identity,
+// verdict, first divergence (if any), then the per-kind table. Deterministic
+// for fixed inputs.
+func (d *DiffResult) WriteText(w io.Writer) error {
+	ew := &errWriter{w: w}
+	ew.printf("bundle A: world=%d seed=%d device=%s policy=%s label=%q clock=%s events=%d\n",
+		d.HdrA.World, d.HdrA.Seed, d.HdrA.Device, d.HdrA.Policy, d.HdrA.Label, d.HdrA.Clock, d.TotalA)
+	ew.printf("bundle B: world=%d seed=%d device=%s policy=%s label=%q clock=%s events=%d\n",
+		d.HdrB.World, d.HdrB.Seed, d.HdrB.Device, d.HdrB.Policy, d.HdrB.Label, d.HdrB.Clock, d.TotalB)
+	switch {
+	case d.Identical():
+		ew.printf("verdict: identical (same events, payloads, and timestamps)\n")
+	case d.First == nil:
+		ew.printf("verdict: structurally equal, timing differs\n")
+	default:
+		ew.printf("verdict: diverged\n")
+		f := d.First
+		ew.printf("first divergence: event %d, kind=%s rank=%d occurrence=%d field=%s\n",
+			f.Index, f.Kind, f.Rank, f.Seq, f.Field)
+		if f.EvA != nil {
+			ew.printf("  A: %s\n", fmtEvent(f.EvA))
+		}
+		if f.EvB != nil {
+			ew.printf("  B: %s\n", fmtEvent(f.EvB))
+		}
+	}
+	ew.printf("%-16s %10s %10s %10s %14s\n", "kind", "count A", "count B", "aligned", "mean dT (ns)")
+	for _, kd := range d.Kinds {
+		ew.printf("%-16s %10d %10d %10d %14d\n",
+			kd.Kind.String(), kd.CountA, kd.CountB, kd.Aligned, kd.MeanDtNs())
+	}
+	return ew.err
+}
+
+func fmtEvent(e *obs.Event) string {
+	return fmt.Sprintf("t=%d %s rank=%d peer=%d a=%d b=%d c=%d name=%q",
+		e.T, e.Kind, e.Rank, e.Peer, e.A, e.B, e.C, e.Name)
+}
+
+// errWriter accumulates the first write error so the report body stays free
+// of per-line error plumbing (same shape as obs's perfettoWriter).
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...interface{}) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}

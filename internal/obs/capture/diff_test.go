@@ -1,0 +1,144 @@
+package capture
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"viampi/internal/obs"
+)
+
+func mkBundle(evs ...obs.Event) *Bundle {
+	return &Bundle{Header: testHeader(), Events: evs}
+}
+
+func ev(t int64, k obs.Kind, rank, peer int32, a int64) obs.Event {
+	return obs.Event{T: t, Kind: k, Rank: rank, Peer: peer, A: a}
+}
+
+// TestDiffIdentical: a bundle against itself is identical in every sense.
+func TestDiffIdentical(t *testing.T) {
+	b := mkBundle(randomEvents(1, 500)...)
+	d := Diff(b, b)
+	if !d.Identical() || d.First != nil || !d.TimeEqual {
+		t.Fatalf("self-diff not identical: %+v", d)
+	}
+	var out bytes.Buffer
+	if err := d.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "verdict: identical") {
+		t.Fatalf("report: %s", out.String())
+	}
+}
+
+// TestDiffTimingOnly: same events shifted in time — structurally equal, not
+// identical, and the per-kind mean shift is reported.
+func TestDiffTimingOnly(t *testing.T) {
+	evs := randomEvents(2, 200)
+	shifted := make([]obs.Event, len(evs))
+	for i, e := range evs {
+		e.T += 1000
+		shifted[i] = e
+	}
+	d := Diff(mkBundle(evs...), mkBundle(shifted...))
+	if d.First != nil {
+		t.Fatalf("structural divergence reported for a pure time shift: %+v", d.First)
+	}
+	if d.TimeEqual || d.Identical() {
+		t.Fatal("time shift not detected")
+	}
+	for _, kd := range d.Kinds {
+		if kd.Aligned > 0 && kd.MeanDtNs() != 1000 {
+			t.Fatalf("kind %s: mean dT = %d, want 1000", kd.Kind, kd.MeanDtNs())
+		}
+	}
+	var out bytes.Buffer
+	if err := d.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "structurally equal, timing differs") {
+		t.Fatalf("report: %s", out.String())
+	}
+}
+
+// TestDiffFirstDivergence: a payload change in the middle of the stream is
+// located exactly — index, occurrence, and field.
+func TestDiffFirstDivergence(t *testing.T) {
+	a := mkBundle(
+		ev(10, obs.EvConnRequest, 0, 1, 1),
+		ev(20, obs.EvConnRequest, 0, 2, 2),
+		ev(30, obs.EvMsgSend, 0, 1, 64),
+		ev(40, obs.EvConnRequest, 0, 3, 3),
+	)
+	b := mkBundle(
+		ev(10, obs.EvConnRequest, 0, 1, 1),
+		ev(20, obs.EvConnRequest, 0, 2, 2),
+		ev(30, obs.EvMsgSend, 0, 1, 64),
+		ev(40, obs.EvConnRequest, 0, 5, 3), // third conn.request went elsewhere
+	)
+	d := Diff(a, b)
+	f := d.First
+	if f == nil {
+		t.Fatal("no divergence found")
+	}
+	if f.Index != 3 || f.Kind != obs.EvConnRequest || f.Rank != 0 || f.Seq != 2 || f.Field != "peer" {
+		t.Fatalf("divergence: %+v", f)
+	}
+	var out bytes.Buffer
+	if err := d.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "first divergence: event 3, kind=conn.request rank=0 occurrence=2 field=peer") {
+		t.Fatalf("report: %s", out.String())
+	}
+}
+
+// TestDiffMissingAndExtra: events present on only one side are reported with
+// the right direction.
+func TestDiffMissingAndExtra(t *testing.T) {
+	common := ev(10, obs.EvMsgSend, 1, 2, 64)
+	onlyA := ev(20, obs.EvEvict, 1, -1, 4)
+	d := Diff(mkBundle(common, onlyA), mkBundle(common))
+	if d.First == nil || d.First.Field != "missing in B" || d.First.Kind != obs.EvEvict {
+		t.Fatalf("missing-in-B: %+v", d.First)
+	}
+	d = Diff(mkBundle(common), mkBundle(common, onlyA))
+	if d.First == nil || d.First.Field != "only in B" || d.First.Kind != obs.EvEvict || d.First.Index != 1 {
+		t.Fatalf("only-in-B: %+v", d.First)
+	}
+	if d.TotalA != 1 || d.TotalB != 2 {
+		t.Fatalf("totals: %d vs %d", d.TotalA, d.TotalB)
+	}
+}
+
+// TestDiffCounts: per-kind counts and aligned totals follow min(countA,countB).
+func TestDiffCounts(t *testing.T) {
+	a := mkBundle(
+		ev(1, obs.EvMsgSend, 0, 1, 1),
+		ev(2, obs.EvMsgSend, 0, 1, 1),
+		ev(3, obs.EvMsgRecv, 1, 0, 1),
+	)
+	b := mkBundle(
+		ev(1, obs.EvMsgSend, 0, 1, 1),
+		ev(4, obs.EvCreditStall, 0, -1, 2),
+	)
+	d := Diff(a, b)
+	byKind := map[obs.Kind]KindDelta{}
+	for _, kd := range d.Kinds {
+		byKind[kd.Kind] = kd
+	}
+	if kd := byKind[obs.EvMsgSend]; kd.CountA != 2 || kd.CountB != 1 || kd.Aligned != 1 {
+		t.Fatalf("msg.send delta: %+v", kd)
+	}
+	if kd := byKind[obs.EvMsgRecv]; kd.CountA != 1 || kd.CountB != 0 || kd.Aligned != 0 {
+		t.Fatalf("msg.recv delta: %+v", kd)
+	}
+	if kd := byKind[obs.EvCreditStall]; kd.CountA != 0 || kd.CountB != 1 {
+		t.Fatalf("credit.stall delta: %+v", kd)
+	}
+	// Kinds emitted by neither side never appear.
+	if _, present := byKind[obs.EvRdma]; present {
+		t.Fatal("unemitted kind present in deltas")
+	}
+}

@@ -108,7 +108,7 @@ func (c *Collector) consume(e Event) {
 	case EvGauge:
 		c.reg.SetGauge(e.Name, e.A)
 	case EvProcStart, EvProcEnd, EvViCreate, EvConnReject, EvRdma,
-		EvFrameDeliver, EvCallBegin, EvCallEnd:
+		EvFrameDeliver, EvCallBegin, EvCallEnd, EvPhase, EvRunEnd:
 		// Counted by the generic events.* counter above; no derived metric.
 	}
 }

@@ -38,17 +38,19 @@ var goldenKindNames = map[Kind]string{
 	EvEvict:        "conn.evict",
 	EvConnRetry:    "conn.retry",
 	EvReconnect:    "conn.reconnect",
+	EvPhase:        "phase",
+	EvRunEnd:       "run.end",
 }
 
 // TestKindStringCoversEveryKind walks the full contiguous kind range and
 // checks every member has a distinct, pinned, non-"unknown" name, and that
 // values outside the range fall back to "unknown".
 func TestKindStringCoversEveryKind(t *testing.T) {
-	if len(goldenKindNames) != int(EvReconnect) {
-		t.Fatalf("golden table has %d names, kind range has %d members", len(goldenKindNames), int(EvReconnect))
+	if len(goldenKindNames) != int(EvRunEnd) {
+		t.Fatalf("golden table has %d names, kind range has %d members", len(goldenKindNames), int(EvRunEnd))
 	}
 	seen := map[string]Kind{}
-	for k := EvProcStart; k <= EvReconnect; k++ {
+	for k := EvProcStart; k <= EvRunEnd; k++ {
 		name := k.String()
 		if name == "unknown" {
 			t.Errorf("kind %d stringifies to \"unknown\"; backfill the String switch", int(k))
@@ -65,7 +67,7 @@ func TestKindStringCoversEveryKind(t *testing.T) {
 	if Kind(0).String() != "unknown" {
 		t.Errorf("Kind(0).String() = %q, want \"unknown\"", Kind(0).String())
 	}
-	if out := (EvReconnect + 1).String(); out != "unknown" {
+	if out := (EvRunEnd + 1).String(); out != "unknown" {
 		t.Errorf("out-of-range kind stringifies to %q, want \"unknown\"", out)
 	}
 }
@@ -78,6 +80,8 @@ var perfettoSilentKinds = map[Kind]bool{
 	EvProcEnd:      true,
 	EvFrameEnqueue: true,
 	EvFrameDeliver: true,
+	EvPhase:        true,
+	EvRunEnd:       true,
 }
 
 // TestPerfettoWriteEventCoversEveryKind feeds one event of every kind
@@ -85,7 +89,7 @@ var perfettoSilentKinds = map[Kind]bool{
 // the documented silent list — a new kind cannot silently vanish from
 // traces.
 func TestPerfettoWriteEventCoversEveryKind(t *testing.T) {
-	for k := EvProcStart; k <= EvReconnect; k++ {
+	for k := EvProcStart; k <= EvRunEnd; k++ {
 		var buf bytes.Buffer
 		pw := &perfettoWriter{w: &buf, first: true}
 		// Peer differs from Rank so EvMsgSend draws its flow arrow.

@@ -132,6 +132,30 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum) / float64(h.n)
 }
 
+// Quantile returns a deterministic upper-bound estimate of the p-th
+// percentile (0 < p <= 100): the upper bound of the bucket holding the
+// ceil(n*p/100)-th observation, capped at the observed maximum (which makes
+// the overflow bucket exact and keeps single-value histograms sensible).
+// Integer arithmetic only, so every run reports identical percentiles.
+// Returns 0 when empty or nil.
+func (h *Histogram) Quantile(p int) int64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	target := (h.n*int64(p) + 99) / 100
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i == len(h.bounds) || h.bounds[i] > h.max {
+				return h.max
+			}
+			return h.bounds[i]
+		}
+	}
+	return h.max
+}
+
 // sortedKeys collects and sorts map keys — the deterministic-iteration
 // idiom the maporder analyzer recognizes.
 func sortedCounterKeys(m map[string]int64) []string {
@@ -172,7 +196,8 @@ func (g *Registry) WriteText(w io.Writer) {
 	}
 	for _, k := range sortedHistKeys(g.hists) {
 		h := g.hists[k]
-		fmt.Fprintf(w, "hist    %-28s n=%d min=%d mean=%.1f max=%d\n", k, h.n, h.min, h.Mean(), h.max)
+		fmt.Fprintf(w, "hist    %-28s n=%d min=%d mean=%.1f max=%d p50=%d p90=%d p99=%d\n",
+			k, h.n, h.min, h.Mean(), h.max, h.Quantile(50), h.Quantile(90), h.Quantile(99))
 		for i, b := range h.bounds {
 			if h.counts[i] > 0 {
 				fmt.Fprintf(w, "        %-28s   <=%-12d %d\n", "", b, h.counts[i])
@@ -201,6 +226,9 @@ func (g *Registry) WriteCSV(w io.Writer) {
 		fmt.Fprintf(w, "hist,%s,sum,%d\n", k, h.sum)
 		fmt.Fprintf(w, "hist,%s,min,%d\n", k, h.min)
 		fmt.Fprintf(w, "hist,%s,max,%d\n", k, h.max)
+		fmt.Fprintf(w, "hist,%s,p50,%d\n", k, h.Quantile(50))
+		fmt.Fprintf(w, "hist,%s,p90,%d\n", k, h.Quantile(90))
+		fmt.Fprintf(w, "hist,%s,p99,%d\n", k, h.Quantile(99))
 		for i, b := range h.bounds {
 			fmt.Fprintf(w, "hist,%s,le_%d,%d\n", k, b, h.counts[i])
 		}
@@ -232,7 +260,8 @@ func (g *Registry) WriteJSON(w io.Writer) {
 			fmt.Fprint(w, ",")
 		}
 		h := g.hists[k]
-		fmt.Fprintf(w, "%q:{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"buckets\":[", k, h.n, h.sum, h.min, h.max)
+		fmt.Fprintf(w, "%q:{\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d,\"p50\":%d,\"p90\":%d,\"p99\":%d,\"buckets\":[",
+			k, h.n, h.sum, h.min, h.max, h.Quantile(50), h.Quantile(90), h.Quantile(99))
 		for j, b := range h.bounds {
 			if j > 0 {
 				fmt.Fprint(w, ",")

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds a registry with one of everything and a histogram
+// whose percentiles land in three different buckets: two observations in
+// le_10, one in le_100, one in le_1000, one overflow.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Inc("msgs", 7)
+	reg.SetGauge("depth", 5)
+	reg.SetGauge("depth", 2)
+	h := reg.Hist("lat", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 7, 50, 500, 1500} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+// TestMetricsTextGolden pins the text emission byte-for-byte: existing
+// columns in their original order, percentiles appended after max.
+func TestMetricsTextGolden(t *testing.T) {
+	var buf bytes.Buffer
+	goldenRegistry().WriteText(&buf)
+	want := strings.Join([]string{
+		"counter msgs                                    7",
+		"gauge   depth                                   2 (max 5)",
+		"hist    lat                          n=5 min=5 mean=412.4 max=1500 p50=100 p90=1500 p99=1500",
+		"                                       <=10           2",
+		"                                       <=100          1",
+		"                                       <=1000         1",
+		"                                       +Inf          1",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("text emission drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestMetricsCSVGolden pins the CSV emission: p50/p90/p99 rows sit between
+// max and the bucket rows, every pre-existing row unchanged.
+func TestMetricsCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	goldenRegistry().WriteCSV(&buf)
+	want := strings.Join([]string{
+		"kind,name,field,value",
+		"counter,msgs,value,7",
+		"gauge,depth,cur,2",
+		"gauge,depth,max,5",
+		"hist,lat,count,5",
+		"hist,lat,sum,2062",
+		"hist,lat,min,5",
+		"hist,lat,max,1500",
+		"hist,lat,p50,100",
+		"hist,lat,p90,1500",
+		"hist,lat,p99,1500",
+		"hist,lat,le_10,2",
+		"hist,lat,le_100,1",
+		"hist,lat,le_1000,1",
+		"hist,lat,le_inf,1",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("CSV emission drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestMetricsJSONGolden pins the JSON emission: percentile fields follow
+// max, ahead of the bucket array.
+func TestMetricsJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	goldenRegistry().WriteJSON(&buf)
+	want := `{"counters":{"msgs":7},"gauges":{"depth":{"cur":2,"max":5}},` +
+		`"histograms":{"lat":{"count":5,"sum":2062,"min":5,"max":1500,` +
+		`"p50":100,"p90":1500,"p99":1500,"buckets":[{"le":10,"n":2},` +
+		`{"le":100,"n":1},{"le":1000,"n":1},{"le":"inf","n":1}]}}}` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("JSON emission drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestQuantile covers the estimator's edges: empty, single observation
+// capped at the observed max, exact bucket walks, and the overflow bucket.
+func TestQuantile(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(50); got != 0 {
+		t.Errorf("nil histogram Quantile = %d, want 0", got)
+	}
+	h := &Histogram{bounds: []int64{10, 100}, counts: make([]int64, 3)}
+	if got := h.Quantile(50); got != 0 {
+		t.Errorf("empty histogram Quantile = %d, want 0", got)
+	}
+	h.Observe(42)
+	if got := h.Quantile(50); got != 42 {
+		t.Errorf("single-value p50 = %d, want 42 (bucket bound capped at max)", got)
+	}
+	if got := h.Quantile(100); got != 42 {
+		t.Errorf("single-value p100 = %d, want 42", got)
+	}
+	// 90 fast, 10 slow: p50/p90 in the first bucket, p99 in overflow.
+	h2 := &Histogram{bounds: []int64{10, 100}, counts: make([]int64, 3)}
+	for i := 0; i < 90; i++ {
+		h2.Observe(5)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(200)
+	}
+	if got := h2.Quantile(50); got != 10 {
+		t.Errorf("p50 = %d, want 10", got)
+	}
+	if got := h2.Quantile(90); got != 10 {
+		t.Errorf("p90 = %d, want 10", got)
+	}
+	if got := h2.Quantile(99); got != 200 {
+		t.Errorf("p99 = %d, want 200 (overflow bucket reports max)", got)
+	}
+}

@@ -67,6 +67,15 @@ const (
 	EvEvict      // channel evicted under the VI cap; A = live channels before
 	EvConnRetry  // connection request re-issued; A = attempt number
 	EvReconnect  // channel re-established after teardown; A = latency (ns)
+
+	// Run epilogue (mpi). Appended so existing kind values stay wire-stable.
+	// EvPhase reports one rank's charged time in one phase after finalize:
+	// Name = phase name, A = phase index, B = charged nanoseconds. EvRunEnd
+	// closes the stream once per run: T = the run's elapsed virtual time,
+	// A = world size. Together they let a capture bundle re-render the phase
+	// table offline, without re-running the simulation.
+	EvPhase
+	EvRunEnd
 )
 
 // String returns the kind's wire-stable name (used in exports).
@@ -128,6 +137,10 @@ func (k Kind) String() string {
 		return "conn.retry"
 	case EvReconnect:
 		return "conn.reconnect"
+	case EvPhase:
+		return "phase"
+	case EvRunEnd:
+		return "run.end"
 	default:
 		return "unknown"
 	}

@@ -113,8 +113,10 @@ func writeEvent(pw *perfettoWriter, pid int, e Event) {
 		EvDisconnect, EvEvict, EvConnRetry, EvReconnect:
 		pw.emit(`{"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"cat":"proto","name":%q,"args":{"peer":%d,"a":%d,"b":%d}}`,
 			pid, e.Rank, us(e.T), e.Kind.String(), e.Peer, e.A, e.B)
-	case EvProcStart, EvProcEnd, EvFrameEnqueue, EvFrameDeliver:
+	case EvProcStart, EvProcEnd, EvFrameEnqueue, EvFrameDeliver, EvPhase, EvRunEnd:
 		// Process lifetime is implied by the spans; frame events are
-		// metrics-only (their volume would drown the timeline).
+		// metrics-only (their volume would drown the timeline); the run
+		// epilogue records (phase totals, elapsed) are table/summary inputs,
+		// not timeline marks.
 	}
 }

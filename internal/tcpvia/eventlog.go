@@ -1,0 +1,114 @@
+package tcpvia
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"viampi/internal/obs"
+	"viampi/internal/obs/capture"
+)
+
+// EventLog is the wall-clock half of the flight recorder: the capture
+// package itself is a pure single-threaded leaf, and this stack is genuinely
+// concurrent, so the real-socket twin tees its events through a lock here.
+// Timestamps are host nanoseconds since the log's creation (the bundle's
+// header says ClockWall, so consumers know the stamps mean elapsed wall
+// time, not virtual time).
+//
+// Two sinks, independently optional:
+//
+//   - a streaming capture.Writer, for bounded-length runs that want the
+//     complete record on disk as it happens;
+//   - a bounded capture.Ring, for long-lived processes that want the last N
+//     events dumped on demand — on a signal, on a crash, at exit.
+type EventLog struct {
+	base time.Time
+
+	// mu is a leaf lock: it guards the two capture sinks only, and nothing
+	// under it calls back into the stack.
+	mu     sync.Mutex
+	ring   *capture.Ring
+	stream *capture.Writer
+}
+
+// NewEventLog builds a wall-clock log. ringCap > 0 keeps the most recent
+// ringCap events in memory for DumpRing; stream, when non-nil, receives the
+// full encoded bundle live (seal it with CloseStream before reading the
+// file). The header's clock source is forced to wall time.
+func NewEventLog(h capture.Header, ringCap int, stream io.Writer) (*EventLog, error) {
+	h.Clock = capture.ClockWall
+	l := &EventLog{base: time.Now()}
+	if ringCap > 0 {
+		l.ring = capture.NewRing(h, ringCap)
+	}
+	if stream != nil {
+		w, err := capture.NewWriter(stream, h)
+		if err != nil {
+			return nil, err
+		}
+		l.stream = w
+	}
+	if l.ring == nil && l.stream == nil {
+		return nil, fmt.Errorf("tcpvia: event log needs a ring capacity or a stream")
+	}
+	return l, nil
+}
+
+// Emit records one event, stamped with elapsed wall-clock nanoseconds.
+// Safe on a nil log and from any goroutine.
+func (l *EventLog) Emit(kind obs.Kind, rank, peer int32, a, b, c int64, name string) {
+	if l == nil {
+		return
+	}
+	e := obs.Event{
+		T:    time.Since(l.base).Nanoseconds(),
+		Kind: kind,
+		Rank: rank,
+		Peer: peer,
+		A:    a, B: b, C: c,
+		Name: name,
+	}
+	l.mu.Lock()
+	if l.ring != nil {
+		l.ring.Consume(e)
+	}
+	if l.stream != nil {
+		l.stream.Consume(e)
+	}
+	l.mu.Unlock()
+}
+
+// DumpRing writes the retained ring events as a complete bundle — the
+// flush-on-signal / flush-on-crash path. Returns the number of events
+// dumped and how many older ones had been evicted. No-op on a nil log or a
+// log without a ring.
+func (l *EventLog) DumpRing(w io.Writer) (kept int, dropped int64, err error) {
+	if l == nil {
+		return 0, 0, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.ring == nil {
+		return 0, 0, nil
+	}
+	return l.ring.Len(), l.ring.Dropped(), l.ring.DumpTo(w)
+}
+
+// CloseStream seals the streaming bundle (end marker + event count) and
+// reports the stream's totals. Further Emits still feed the ring, if any.
+func (l *EventLog) CloseStream() (events, bytes int64, err error) {
+	if l == nil {
+		return 0, 0, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.stream == nil {
+		return 0, 0, nil
+	}
+	events, bytes = l.stream.Events(), l.stream.Bytes()
+	err = l.stream.Close()
+	l.stream = nil
+	return events, bytes, err
+}

@@ -1,0 +1,246 @@
+package tcpvia
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"viampi/internal/obs"
+	"viampi/internal/obs/capture"
+)
+
+func wallHeader(rank int) capture.Header {
+	return capture.Header{
+		World:  2,
+		Device: "tcpvia",
+		Policy: "ondemand",
+		Label:  "eventlog.test",
+		Config: "test",
+		Seed:   int64(rank),
+	}
+}
+
+func TestEventLogRequiresASink(t *testing.T) {
+	if _, err := NewEventLog(wallHeader(0), 0, nil); err == nil {
+		t.Fatal("sinkless event log accepted")
+	}
+}
+
+// TestEventLogStream runs a two-rank on-demand exchange with flight
+// recorders attached and checks the sealed bundles decode to the protocol
+// story: VI creation, the dial (or its adoption), channel-up, and the data
+// transfer, all stamped with wall-clock time.
+func TestEventLogStream(t *testing.T) {
+	nodes := []*Node{newNode(t), newNode(t)}
+	peers := []string{nodes[0].Addr(), nodes[1].Addr()}
+	logs := make([]*EventLog, 2)
+	streams := make([]*bytes.Buffer, 2)
+	mgrs := make([]*Manager, 2)
+	for i := range mgrs {
+		streams[i] = &bytes.Buffer{}
+		log, err := NewEventLog(wallHeader(i), 0, streams[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs[i] = log
+		m, err := NewManager(ManagerConfig{
+			Node: nodes[i], Rank: i, Peers: peers, Policy: "ondemand",
+			Timeout: tmo, Log: log,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgrs[i] = m
+	}
+	t.Cleanup(func() {
+		for _, m := range mgrs {
+			m.Close()
+		}
+	})
+
+	if err := mgrs[0].Send(1, []byte("recorded")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := mgrs[1].Recv(0, tmo); err != nil || string(got) != "recorded" {
+		t.Fatalf("recv: %q %v", got, err)
+	}
+
+	for i, log := range logs {
+		if _, _, err := log.CloseStream(); err != nil {
+			t.Fatalf("sealing log %d: %v", i, err)
+		}
+	}
+	bundles := make([]*capture.Bundle, 2)
+	for i, s := range streams {
+		b, err := capture.ReadBundle(bytes.NewReader(s.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding bundle %d: %v", i, err)
+		}
+		if b.Header.Clock != capture.ClockWall {
+			t.Fatalf("bundle %d clock = %v, want wall", i, b.Header.Clock)
+		}
+		bundles[i] = b
+	}
+
+	kinds := func(b *capture.Bundle) map[obs.Kind]int {
+		m := map[obs.Kind]int{}
+		for _, e := range b.Events {
+			m[e.Kind]++
+		}
+		return m
+	}
+	k0, k1 := kinds(bundles[0]), kinds(bundles[1])
+	// The sender parked its first message behind the dial; the receiver saw
+	// the request arrive (adoption or its own receiver-side dial) and the
+	// payload.
+	if k0[obs.EvViCreate] == 0 || k0[obs.EvFifoPark] == 0 || k0[obs.EvConnUp] == 0 || k0[obs.EvFifoDrain] == 0 {
+		t.Fatalf("sender story incomplete: %v", k0)
+	}
+	if k1[obs.EvViCreate] == 0 || k1[obs.EvConnUp] == 0 || k1[obs.EvMsgRecv] == 0 {
+		t.Fatalf("receiver story incomplete: %v", k1)
+	}
+	if k0[obs.EvConnRequest]+k1[obs.EvConnAccept] == 0 {
+		t.Fatalf("no dial recorded on either side: %v / %v", k0, k1)
+	}
+	// Wall-clock stamps are monotone within one log (a single mutex orders
+	// every emission).
+	for i, b := range bundles {
+		last := int64(-1)
+		for j, e := range b.Events {
+			if e.T < last {
+				t.Fatalf("bundle %d event %d: time went backwards (%d < %d)", i, j, e.T, last)
+			}
+			last = e.T
+		}
+		for _, e := range b.Events {
+			if int(e.Rank) != i {
+				t.Fatalf("bundle %d carries an event from rank %d", i, e.Rank)
+			}
+		}
+	}
+}
+
+// TestEventLogRingDump: the bounded postmortem mode retains exactly the most
+// recent events and dumps them as a complete, decodable bundle.
+func TestEventLogRingDump(t *testing.T) {
+	const cap, total = 64, 500
+	log, err := NewEventLog(wallHeader(0), cap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		log.Emit(obs.EvMsgSend, 0, 1, int64(i), 0, 0, "")
+	}
+	var out bytes.Buffer
+	kept, dropped, err := log.DumpRing(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != cap || dropped != total-cap {
+		t.Fatalf("kept %d dropped %d, want %d / %d", kept, dropped, cap, total-cap)
+	}
+	b, err := capture.ReadBundle(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Events) != cap {
+		t.Fatalf("dumped %d events", len(b.Events))
+	}
+	for i, e := range b.Events {
+		if e.A != int64(total-cap+i) {
+			t.Fatalf("event %d carries A=%d, want %d (oldest-first order)", i, e.A, total-cap+i)
+		}
+	}
+}
+
+// TestEventLogConcurrentEmit hammers one log from many goroutines; under
+// -race this is the data-race check, and the ring must retain exactly its
+// capacity afterwards.
+func TestEventLogConcurrentEmit(t *testing.T) {
+	const workers, each = 8, 200
+	log, err := NewEventLog(wallHeader(0), 128, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				log.Emit(obs.EvMsgSend, int32(w), -1, int64(i), 0, 0, "")
+			}
+		}()
+	}
+	wg.Wait()
+	var out bytes.Buffer
+	kept, dropped, err := log.DumpRing(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 128 || dropped != workers*each-128 {
+		t.Fatalf("kept %d dropped %d", kept, dropped)
+	}
+	if _, err := capture.ReadBundle(bytes.NewReader(out.Bytes())); err != nil {
+		t.Fatalf("post-stress dump not decodable: %v", err)
+	}
+}
+
+// TestNilEventLogIsInert: every method is a no-op on nil, so the manager can
+// call unconditionally.
+func TestNilEventLogIsInert(t *testing.T) {
+	var log *EventLog
+	log.Emit(obs.EvMsgSend, 0, 1, 0, 0, 0, "")
+	if kept, dropped, err := log.DumpRing(&bytes.Buffer{}); kept != 0 || dropped != 0 || err != nil {
+		t.Fatal("nil DumpRing not inert")
+	}
+	if ev, by, err := log.CloseStream(); ev != 0 || by != 0 || err != nil {
+		t.Fatal("nil CloseStream not inert")
+	}
+}
+
+// TestManagerMetricsSnapshots: the periodic snapshot loop writes JSON
+// documents carrying the tcpvia counters, including one final snapshot at
+// Close.
+func TestManagerMetricsSnapshots(t *testing.T) {
+	nodes := []*Node{newNode(t), newNode(t)}
+	peers := []string{nodes[0].Addr(), nodes[1].Addr()}
+	var snaps bytes.Buffer
+	regs := []*obs.Registry{obs.NewRegistry(), obs.NewRegistry()}
+	mgrs := make([]*Manager, 2)
+	for i := range mgrs {
+		cfg := ManagerConfig{
+			Node: nodes[i], Rank: i, Peers: peers, Policy: "ondemand",
+			Timeout: tmo, Metrics: regs[i],
+		}
+		if i == 0 {
+			cfg.SnapshotEvery = 5 * time.Millisecond
+			cfg.SnapshotTo = &snaps
+		}
+		m, err := NewManager(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgrs[i] = m
+	}
+	if err := mgrs[0].Send(1, []byte("tick")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgrs[1].Recv(0, tmo); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(25 * time.Millisecond)
+	for _, m := range mgrs {
+		m.Close() // stops the loop after one final snapshot
+	}
+	got := snaps.String()
+	if strings.Count(got, "{") < 2 {
+		t.Fatalf("expected multiple snapshots, got:\n%s", got)
+	}
+	if !strings.Contains(got, "tcpvia.conn.up") {
+		t.Fatalf("snapshots missing tcpvia counters:\n%s", got)
+	}
+}

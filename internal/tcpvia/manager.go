@@ -2,6 +2,7 @@ package tcpvia
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -33,6 +34,13 @@ type Manager struct {
 	// held while acquiring mu or a channel lock.
 	metricsMu sync.Mutex
 	metrics   *obs.Registry
+
+	// log is the optional wall-clock flight recorder; EventLog serializes
+	// itself, so emissions need no manager lock.
+	log *EventLog
+
+	snapStop chan struct{}
+	snapWG   sync.WaitGroup
 }
 
 // count bumps a named counter on the attached registry (nil = no metrics).
@@ -43,6 +51,11 @@ func (m *Manager) count(name string, n int64) {
 	m.metricsMu.Lock()
 	m.metrics.Inc(name, n)
 	m.metricsMu.Unlock()
+}
+
+// logEvent tees a protocol event into the flight recorder (nil = no log).
+func (m *Manager) logEvent(kind obs.Kind, peer int, a, b int64) {
+	m.log.Emit(kind, int32(m.rank), int32(peer), a, b, 0, "")
 }
 
 // Channel is the per-peer state: the VI plus the pre-posted send FIFO.
@@ -77,6 +90,17 @@ type ManagerConfig struct {
 	// ("tcpvia.conn.up", "tcpvia.fifo.parked", ...). The manager
 	// serializes its own access; readers should dump after Close.
 	Metrics *obs.Registry
+
+	// Log, when set, receives every connection, FIFO, and message event
+	// with wall-clock stamps — the live twin of the simulator's capture
+	// bundle. The EventLog serializes itself.
+	Log *EventLog
+
+	// SnapshotEvery, with SnapshotTo and Metrics all set, writes a JSON
+	// metrics snapshot to SnapshotTo at that interval (and once more at
+	// Close) — cheap liveness observability for long-running processes.
+	SnapshotEvery time.Duration
+	SnapshotTo    io.Writer
 }
 
 // NewManager wires a node into a ranked group under the chosen policy.
@@ -102,6 +126,7 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		channels: make(map[int]*Channel),
 		recvPool: cfg.RecvPool,
 		metrics:  cfg.Metrics,
+		log:      cfg.Log,
 	}
 	m.bufSize = cfg.BufSize
 	m.timeout = cfg.Timeout
@@ -117,7 +142,37 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	default:
 		return nil, fmt.Errorf("tcpvia: unknown policy %q", cfg.Policy)
 	}
+	if cfg.SnapshotEvery > 0 && cfg.SnapshotTo != nil && cfg.Metrics != nil {
+		m.snapStop = make(chan struct{})
+		m.snapWG.Add(1)
+		go m.snapshotLoop(cfg.SnapshotEvery, cfg.SnapshotTo)
+	}
 	return m, nil
+}
+
+// snapshotLoop periodically dumps the metrics registry as one JSON document
+// per tick — a heartbeat a human (or a scraper) can tail.
+func (m *Manager) snapshotLoop(every time.Duration, out io.Writer) {
+	defer m.snapWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.snapStop:
+			// One final snapshot so the tail of the file reflects the full run.
+			m.snapshot(out)
+			return
+		case <-t.C:
+			m.snapshot(out)
+		}
+	}
+}
+
+// snapshot writes one metrics JSON document under the metrics leaf lock.
+func (m *Manager) snapshot(out io.Writer) {
+	m.metricsMu.Lock()
+	m.metrics.WriteJSON(out)
+	m.metricsMu.Unlock()
 }
 
 // pairDisc is the canonical discriminator for a rank pair (never 0, since 0
@@ -167,11 +222,13 @@ func (m *Manager) adoptLoop() {
 		if rank < 0 {
 			req.Reject()
 			m.count("tcpvia.conn.rejected", 1)
+			m.logEvent(obs.EvConnReject, -1, 0, 0)
 			continue
 		}
 		ch := m.channel(rank)
 		if ch.Vi == nil || ch.Vi.State() == Connected {
 			req.Reject()
+			m.logEvent(obs.EvConnReject, rank, int64(pairDisc(m.rank, rank)), 0)
 			continue
 		}
 		// Accept adopts onto an Idle VI, or resolves a crossing dial onto a
@@ -179,8 +236,10 @@ func (m *Manager) adoptLoop() {
 		// never hangs.
 		if err := m.node.Accept(req, ch.Vi); err != nil {
 			req.Reject()
+			m.logEvent(obs.EvConnReject, rank, int64(pairDisc(m.rank, rank)), 0)
 			continue
 		}
+		m.logEvent(obs.EvConnAccept, rank, int64(pairDisc(m.rank, rank)), 0)
 		m.markUp(ch)
 	}
 }
@@ -214,6 +273,7 @@ func (m *Manager) channel(rank int) *Channel {
 	}
 	ch := &Channel{Rank: rank, Vi: vi, upped: make(chan struct{})}
 	m.channels[rank] = ch
+	m.logEvent(obs.EvViCreate, rank, int64(len(m.channels)), 0)
 	return ch
 }
 
@@ -230,6 +290,7 @@ func (m *Manager) establish(rank int) (*Channel, error) {
 		return ch, nil
 	}
 	ch.mu.Unlock()
+	m.logEvent(obs.EvConnRequest, rank, int64(pairDisc(m.rank, rank)), 0)
 	err := m.node.ConnectPeer(ch.Vi, m.peers[rank], pairDisc(m.rank, rank), m.timeout)
 	if err != nil && ch.Vi.State() != Connected {
 		return nil, err
@@ -252,10 +313,12 @@ func (m *Manager) markUp(ch *Channel) {
 	}
 	if len(ch.fifo) > 0 {
 		m.count("tcpvia.fifo.drained", int64(len(ch.fifo)))
+		m.logEvent(obs.EvFifoDrain, ch.Rank, int64(len(ch.fifo)), 0)
 	}
 	ch.fifo = nil
 	ch.up = true
 	m.count("tcpvia.conn.up", 1)
+	m.logEvent(obs.EvConnUp, ch.Rank, int64(pairDisc(m.rank, ch.Rank)), 0)
 	close(ch.upped)
 }
 
@@ -276,8 +339,10 @@ func (m *Manager) Send(rank int, data []byte) error {
 		cp := append([]byte(nil), data...)
 		first := len(ch.fifo) == 0 && m.policy == "ondemand"
 		ch.fifo = append(ch.fifo, cp)
+		depth := len(ch.fifo)
 		ch.mu.Unlock()
 		m.count("tcpvia.fifo.parked", 1)
+		m.logEvent(obs.EvFifoPark, rank, int64(depth), int64(len(data)))
 		if first {
 			go func() {
 				if _, err := m.establish(rank); err != nil {
@@ -296,6 +361,7 @@ func (m *Manager) Send(rank int, data []byte) error {
 		return fmt.Errorf("tcpvia: send discarded in state %v", ch.Vi.State())
 	}
 	m.count("tcpvia.msgs.sent", 1)
+	m.logEvent(obs.EvMsgSend, rank, int64(len(data)), 0)
 	return nil
 }
 
@@ -322,6 +388,7 @@ func (m *Manager) Recv(rank int, timeout time.Duration) ([]byte, error) {
 	copy(out, buf[:ln])
 	// Recycle the pool buffer.
 	_ = ch.Vi.PostRecv(buf)
+	m.logEvent(obs.EvMsgRecv, rank, int64(ln), 0)
 	return out, nil
 }
 
@@ -339,7 +406,8 @@ func (m *Manager) Connections() int {
 	return n
 }
 
-// Close tears down all channels.
+// Close tears down all channels and stops the snapshot loop (writing one
+// final snapshot).
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -347,11 +415,15 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
+	if m.snapStop != nil {
+		close(m.snapStop)
+	}
 	chans := make([]*Channel, 0, len(m.channels))
 	for _, ch := range m.channels {
 		chans = append(chans, ch)
 	}
 	m.mu.Unlock()
+	m.snapWG.Wait()
 	for _, ch := range chans {
 		if ch.Vi != nil {
 			ch.Vi.Close()
