@@ -1,9 +1,9 @@
 # Single entry point for CI and builders: `make check` is the tier-1 gate.
 GO ?= go
 
-.PHONY: check fmt vet build test race analyze figures bench-snapshot bench-smoke bench-sim bench-sim-snapshot bench-sim-smoke fault-smoke replay-smoke
+.PHONY: check fmt vet build test race analyze figures bench-snapshot bench-smoke bench-sim bench-sim-snapshot bench-sim-smoke fault-smoke replay-smoke scale-smoke
 
-check: fmt vet build test race analyze bench-smoke bench-sim-smoke fault-smoke replay-smoke
+check: fmt vet build test race analyze bench-smoke bench-sim-smoke fault-smoke replay-smoke scale-smoke
 
 # gofmt -l prints offending files; any output is a failure.
 fmt:
@@ -68,6 +68,14 @@ bench-sim-snapshot:
 bench-sim-smoke:
 	$(GO) run ./cmd/benchsnap -simcore -smoke > /dev/null
 	$(GO) test -run '^$$' -bench BenchmarkSimCore -benchtime 1000x ./internal/simnet > /dev/null
+
+# Thousand-rank worlds, run uncached with a hard wall-time lid: the 1024-
+# and 2048-rank on-demand rings plus the O(n)-startup-events assertion.
+# These only stay this fast because per-rank state is O(live connections)
+# and the startup barrier is park/broadcast — a regression in either shows
+# up here as a timeout, not a slow drift.
+scale-smoke:
+	$(GO) test ./internal/mpi -run 'TestOnDemandRing1024Sparse|TestOnDemandRing2048Sparse|TestStartupEventsLinear' -count=1 -timeout 120s
 
 # Connection-fault matrix and eviction round-trip, run uncached: the fault
 # injector and the VI-cap evictor must heal every run without losing or

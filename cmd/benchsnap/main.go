@@ -195,14 +195,21 @@ func captureOverhead(w io.Writer, seed int64) error {
 // end-to-end in milliseconds.
 func simcoreWorkloads(smoke bool) []func() (bench.SimCoreResult, error) {
 	scale := 1
+	bootOD, bootStatic := 1024, 256
 	if smoke {
 		scale = 100
+		bootOD, bootStatic = 64, 16
 	}
 	return []func() (bench.SimCoreResult, error){
 		func() (bench.SimCoreResult, error) { return bench.SimCoreSleepCycle(1, 2_000_000/scale) },
 		func() (bench.SimCoreResult, error) { return bench.SimCoreSleepCycle(8, 250_000/scale) },
 		func() (bench.SimCoreResult, error) { return bench.SimCoreParkWake(1_000_000 / scale) },
 		func() (bench.SimCoreResult, error) { return bench.SimCoreEventChurn(2_000_000 / scale) },
+		// Init-cost rail: boot-only MPI worlds (empty main). The on-demand
+		// boot must stay O(procs) events; the static boot carries the dense
+		// mesh's full connection storm for contrast.
+		func() (bench.SimCoreResult, error) { return bench.InitBoot(bench.OnDemand, bootOD) },
+		func() (bench.SimCoreResult, error) { return bench.InitBoot(bench.StaticPolling, bootStatic) },
 	}
 }
 

@@ -144,6 +144,30 @@ func TestDualRunDeterminism(t *testing.T) {
 	}
 }
 
+// TestDualRunDeterminismLargeWorld extends the dual-run property past the
+// seed sizes into sparse-representation territory: at 96 ranks every rank's
+// channel table, sequence counters, and manager state live in the sparse
+// maps/sorted scan lists, so this pins that the lazy layout introduces no
+// iteration-order or allocation-order nondeterminism. The static-p2p case
+// tunes credits and the eager threshold down so the dense mesh's pinned
+// pools stay small; on-demand runs with defaults.
+func TestDualRunDeterminismLargeWorld(t *testing.T) {
+	const rounds, msgBytes = 2, 256
+	for _, cfg := range []mpi.Config{
+		{Procs: 96, Policy: "ondemand", Seed: 42},
+		{Procs: 96, Policy: "static-p2p", Seed: 42, CreditCount: 4, EagerThreshold: 64},
+	} {
+		t.Run(fmt.Sprintf("%s/p%d", cfg.Policy, cfg.Procs), func(t *testing.T) {
+			first, fb := runDigest(t, cfg, rounds, msgBytes)
+			second, sb := runDigest(t, cfg, rounds, msgBytes)
+			if first != second {
+				reportDivergence(t, fb, sb)
+				t.Fatalf("96-rank runs with identical Configs diverged:\n  run 1: %s\n  run 2: %s", first, second)
+			}
+		})
+	}
+}
+
 // TestEvictionDualRunDeterminism extends the dual-run property to capped
 // on-demand runs: with MaxVIs far below N-1 the eviction/reconnect machinery
 // fires constantly, and its victim selection, BYE handshakes, and parked-send

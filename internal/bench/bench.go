@@ -159,6 +159,7 @@ func Experiments() []Experiment {
 		{"ext-apps", "Table 1 app patterns measured on the stack", ExtApps},
 		{"ext-npb", "FT and LU — the kernels the paper omitted", ExtNpb},
 		{"ext-evict", "Eviction extension: latency vs. VI cap (Berkeley VIA)", ExtEvict},
+		{"ext-init", "Init-cost extension: startup and first-message cost to 4096 procs", ExtInit},
 	}
 }
 

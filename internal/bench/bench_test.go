@@ -20,8 +20,8 @@ func cell(t *testing.T, tb *Table, row, col int) float64 {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(Experiments()) != 22 {
-		t.Fatalf("have %d experiments, want 22 (every paper table+figure plus 6 extensions)", len(Experiments()))
+	if len(Experiments()) != 23 {
+		t.Fatalf("have %d experiments, want 23 (every paper table+figure plus 7 extensions)", len(Experiments()))
 	}
 	seen := map[string]bool{}
 	for _, e := range Experiments() {

@@ -31,6 +31,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"viampi/internal/obs"
 	"viampi/internal/simnet"
@@ -150,6 +151,12 @@ type Config struct {
 	ConnTimeout  simnet.Duration
 	ConnRetryMax int
 	ConnBackoff  simnet.Duration
+
+	// EpRanks optionally shares one endpoint→rank table (the inverse of
+	// Addrs) across every rank's manager. When nil the manager builds its
+	// own — O(Size) memory per rank, which is the difference between O(n)
+	// and O(n²) job-wide footprint at 1k+ ranks.
+	EpRanks map[int]int
 }
 
 func (c Config) validate() error {
@@ -193,12 +200,19 @@ type Manager interface {
 	Finalize()
 }
 
-// base carries the state shared by all managers.
+// base carries the state shared by all managers. Channel state is sparse:
+// the map answers by-rank lookups in O(1) and the order slice (kept sorted
+// by peer rank) drives every scan, so both memory and scan cost are
+// O(live channels) instead of O(world size). The sorted order reproduces the
+// dense array's rank-ascending iteration exactly — handshake progress,
+// promotion, eviction tie-breaks and finalize all see the same sequence a
+// by-rank table walk produced, and no map is ever ranged over.
 type base struct {
 	cfg      Config
-	channels []*Channel // by rank; nil where absent
+	channels map[int]*Channel // by peer rank; lookups only, never iterated
+	order    []*Channel       // live channels sorted by Rank; all scans use this
 	epToRank map[int]int
-	everUp   []bool // rank ever had an established channel (reconnect metric)
+	everUp   map[int]bool // rank ever had an established channel (reconnect metric)
 }
 
 func newBase(cfg Config) (*base, error) {
@@ -207,17 +221,28 @@ func newBase(cfg Config) (*base, error) {
 	}
 	b := &base{
 		cfg:      cfg,
-		channels: make([]*Channel, cfg.Size),
-		epToRank: make(map[int]int, cfg.Size),
-		everUp:   make([]bool, cfg.Size),
+		channels: make(map[int]*Channel),
+		epToRank: cfg.EpRanks,
+		everUp:   make(map[int]bool),
 	}
-	for r, a := range cfg.Addrs {
-		b.epToRank[a.Ep] = r
+	if b.epToRank == nil {
+		b.epToRank = make(map[int]int, cfg.Size)
+		for r, a := range cfg.Addrs {
+			b.epToRank[a.Ep] = r
+		}
 	}
 	return b, nil
 }
 
 func (b *base) PeekChannel(rank int) *Channel { return b.channels[rank] }
+
+// insertOrdered adds ch to the rank-sorted scan list.
+func (b *base) insertOrdered(ch *Channel) {
+	i := sort.Search(len(b.order), func(k int) bool { return b.order[k].Rank >= ch.Rank })
+	b.order = append(b.order, nil)
+	copy(b.order[i+1:], b.order[i:])
+	b.order[i] = ch
+}
 
 // newChannel creates the VI for rank and runs PrepareChannel.
 func (b *base) newChannel(rank int) (*Channel, error) {
@@ -234,6 +259,7 @@ func (b *base) newChannel(rank int) (*Channel, error) {
 	}
 	ch := &Channel{Rank: rank, Vi: vi}
 	b.channels[rank] = ch
+	b.insertOrdered(ch)
 	if b.cfg.PrepareChannel != nil {
 		b.cfg.PrepareChannel(ch)
 	}
@@ -258,7 +284,15 @@ func (b *base) markUp(ch *Channel) {
 }
 
 // ReleaseChannel implements Manager.
-func (b *base) ReleaseChannel(rank int) { b.channels[rank] = nil }
+func (b *base) ReleaseChannel(rank int) {
+	delete(b.channels, rank)
+	for i, ch := range b.order {
+		if ch.Rank == rank {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+}
 
 // retryMax and backoff resolve the retry knobs' defaults.
 func (b *base) retryMax() int {
@@ -327,8 +361,8 @@ func (b *base) reissue(ch *Channel) {
 // forever.
 func (b *base) progressHandshakes() {
 	now := b.cfg.Port.Owner().Now()
-	for _, ch := range b.channels {
-		if ch == nil || ch.Up || ch.attempts == 0 {
+	for _, ch := range b.order {
+		if ch.Up || ch.attempts == 0 {
 			continue
 		}
 		switch ch.Vi.State() {
@@ -397,8 +431,8 @@ func (b *base) connectWithRetry(ch *Channel, remote via.Addr, disc uint64) error
 
 // promoteConnected flips channels whose handshake completed.
 func (b *base) promoteConnected() {
-	for _, ch := range b.channels {
-		if ch != nil && !ch.Up && ch.Vi.State() == via.ViConnected {
+	for _, ch := range b.order {
+		if !ch.Up && ch.Vi.State() == via.ViConnected {
 			b.markUp(ch)
 		}
 	}
@@ -406,8 +440,8 @@ func (b *base) promoteConnected() {
 
 func (b *base) PendingConnections() int {
 	n := 0
-	for _, ch := range b.channels {
-		if ch != nil && !ch.Up {
+	for _, ch := range b.order {
+		if !ch.Up {
 			n++
 		}
 	}
@@ -415,8 +449,8 @@ func (b *base) PendingConnections() int {
 }
 
 func (b *base) Finalize() {
-	for _, ch := range b.channels {
-		if ch != nil && ch.Vi.State() != via.ViClosed {
+	for _, ch := range b.order {
+		if ch.Vi.State() != via.ViClosed {
 			ch.Vi.Close()
 		}
 	}
@@ -588,11 +622,8 @@ func (m *OnDemand) Init() error { return nil }
 
 // liveChannels counts existing channels and how many are mid-eviction.
 func (m *OnDemand) liveChannels() (live, evicting int) {
-	for _, ch := range m.channels {
-		if ch == nil {
-			continue
-		}
-		live++
+	live = len(m.order)
+	for _, ch := range m.order {
 		if ch.Evicting {
 			evicting++
 		}
@@ -611,8 +642,8 @@ func (m *OnDemand) evictForCap() {
 	live, evicting := m.liveChannels()
 	for live+1-evicting > m.cfg.MaxVIs {
 		var victim *Channel
-		for _, ch := range m.channels {
-			if ch == nil || !ch.Up || ch.Evicting || !m.cfg.CanEvict(ch) {
+		for _, ch := range m.order {
+			if !ch.Up || ch.Evicting || !m.cfg.CanEvict(ch) {
 				continue
 			}
 			// Strict < ties break toward the lowest rank (scan order),

@@ -18,6 +18,13 @@ type Comm struct {
 // rank must call it with the same list and base context.
 func newComm(r *Rank, ranks []int, baseCtx int32) *Comm {
 	c := &Comm{r: r, ctx: baseCtx, cctx: baseCtx + 1, ranks: ranks, myrank: -1}
+	if r.rank < len(ranks) && ranks[r.rank] == r.rank {
+		// Identity-mapped position (always true for the world communicator,
+		// whose table is shared across all ranks): skipping the scan keeps
+		// communicator construction O(1) per rank instead of O(n²) job-wide.
+		c.myrank = r.rank
+		return c
+	}
 	for i, w := range ranks {
 		if w == r.rank {
 			c.myrank = i

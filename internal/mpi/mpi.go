@@ -216,8 +216,9 @@ type RankStats struct {
 	AppTime       simnet.Duration // time spent inside the user main
 	VisCreated    int
 	VisUsed       int
-	Utilization   float64 // VisUsed / VisCreated (1.0 when none created)
+	Utilization   float64 // VisUsed / VisCreated (0 when none created)
 	DistinctDests int     // peers this rank addressed user sends to
+	PeakChans     int     // high-water mark of simultaneously live channels
 	PinnedPeak    int64   // peak registered memory in bytes
 	MsgsSent      int64   // VIA-level messages (incl. protocol packets)
 	BytesSent     int64
@@ -335,7 +336,10 @@ func Run(cfg Config, main func(r *Rank)) (*World, error) {
 	n := cfg.Procs
 	world := &World{Cfg: cfg, Ranks: make([]RankStats, n), Net: net}
 	addrs := make([]via.Addr, n)
+	worldRanks := identity(n)       // one identity table shared by every rank's world comm
+	epRanks := make(map[int]int, n) // shared endpoint→rank table, built by the last opener
 	opened := 0
+	var waiting []*simnet.Proc // ranks parked on the startup barrier
 
 	for i := 0; i < n; i++ {
 		i := i
@@ -353,13 +357,30 @@ func Run(cfg Config, main func(r *Rank)) (*World, error) {
 			}
 			addrs[i] = port.Addr()
 			opened++
-			for opened < n {
-				p.Sleep(5 * simnet.Microsecond)
+			if opened < n {
+				// Startup barrier: the out-of-band bootstrap may not begin
+				// until every rank has published its address. Early arrivals
+				// park once and the last opener wakes them all — O(1)
+				// simulator events per rank regardless of how staggered the
+				// opens are, where the old 5µs sleep-poll loop burned
+				// O(wait/5µs) events per waiting rank. The release lands on
+				// the +5µs instant the poll grid used, so virtual timings
+				// (and every committed artifact derived from them) are
+				// unchanged.
+				waiting = append(waiting, p)
+				p.Park()
+			} else {
+				for w, a := range addrs {
+					epRanks[a.Ep] = w
+				}
+				for _, q := range waiting {
+					q.WakeAfter(5 * simnet.Microsecond)
+				}
 			}
 			r := &Rank{
 				proc: p, port: port, cfg: &cfg,
 				rank: i, size: n,
-				chans:    make([]*chanState, n),
+				addrs:    addrs,
 				viToChan: make(map[*via.VI]*chanState),
 				sendReqs: make(map[int64]*Request),
 				recvReqs: make(map[int64]*Request),
@@ -369,8 +390,8 @@ func Run(cfg Config, main func(r *Rank)) (*World, error) {
 			r.bus = sim.Obs()
 			if r.bus != nil {
 				r.phases = &obs.Phases{}
-				r.sendSeq = make([]int64, n)
-				r.recvSeq = make([]int64, n)
+				r.sendSeq = make(map[int]int64)
+				r.recvSeq = make(map[int]int64)
 			}
 			if cfg.Profile || r.bus != nil {
 				r.prof = &profiler{proc: p, rank: int32(i), bus: r.bus}
@@ -383,6 +404,7 @@ func Run(cfg Config, main func(r *Rank)) (*World, error) {
 
 			mcfg := core.Config{
 				Rank: i, Size: n, Port: port, Addrs: addrs, Mode: cfg.WaitMode,
+				EpRanks:        epRanks,
 				NewVi:          func() (*via.VI, error) { return port.CreateViCQ(r.cq) },
 				PrepareChannel: r.prepareChannel,
 				OnChannelUp:    r.onChannelUp,
@@ -405,7 +427,7 @@ func Run(cfg Config, main func(r *Rank)) (*World, error) {
 			}
 			r.phases.Add(obs.PhaseConnect, int64(p.Now().Sub(connStart)))
 			r.initTime = simnet.Duration(p.Now())
-			r.world = newComm(r, identity(n), 0)
+			r.world = newComm(r, worldRanks, 0)
 
 			r.appStart = p.Now()
 			main(r)
@@ -420,7 +442,10 @@ func Run(cfg Config, main func(r *Rank)) (*World, error) {
 					dests++
 				}
 			}
-			util := 1.0
+			// A rank that never created a VI has used none of nothing:
+			// report 0, not the perfect 1.0 the old default claimed (it
+			// inflated AvgUtilization for worlds with idle ranks).
+			util := 0.0
 			if st.VisCreated > 0 {
 				util = float64(port.VisUsed()) / float64(st.VisCreated)
 			}
@@ -432,6 +457,7 @@ func Run(cfg Config, main func(r *Rank)) (*World, error) {
 				VisUsed:       port.VisUsed(),
 				Utilization:   util,
 				DistinctDests: dests,
+				PeakChans:     r.peakLive,
 				PinnedPeak:    port.Memory().PeakPinned(),
 				MsgsSent:      st.MsgsSent,
 				BytesSent:     st.BytesSent,
@@ -547,7 +573,7 @@ func (r *Rank) finalize() {
 		finTag  = 0x66 // 'f'
 		doneTag = 0x64 // 'd'
 	)
-	addrs := r.addrsFromManager()
+	addrs := r.addrs
 	if r.rank == 0 {
 		seen := 1
 		for seen < r.size {
@@ -573,16 +599,4 @@ func (r *Rank) finalize() {
 			r.port.WaitActivityTimeout(r.cfg.WaitMode, 200*simnet.Microsecond)
 		}
 	}
-}
-
-// addrsFromManager rebuilds the rank->address table for finalize messaging.
-func (r *Rank) addrsFromManager() []via.Addr {
-	// The bootstrap table is position-stable: world rank i owns port i in
-	// spawn order, but we avoid relying on that by asking the network.
-	ports := r.port.Network().Ports()
-	addrs := make([]via.Addr, len(ports))
-	for i, p := range ports {
-		addrs[i] = p.Addr()
-	}
-	return addrs
 }

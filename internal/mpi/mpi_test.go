@@ -714,8 +714,19 @@ func TestWorldAggregates(t *testing.T) {
 	if got := w.AvgVIs(); got != 0.5 { // two ranks with 1 VI, two with 0
 		t.Errorf("AvgVIs = %v, want 0.5", got)
 	}
-	if w.AvgUtilization() != 1.0 {
-		t.Errorf("AvgUtilization = %v, want 1.0 under on-demand", w.AvgUtilization())
+	// Ranks 0 and 1 used their single VI (utilization 1.0); ranks 2 and 3
+	// never created one and must report 0, not a fictitious perfect score.
+	for _, rs := range w.Ranks {
+		want := 1.0
+		if rs.Rank >= 2 {
+			want = 0
+		}
+		if rs.Utilization != want {
+			t.Errorf("rank %d utilization = %v, want %v", rs.Rank, rs.Utilization, want)
+		}
+	}
+	if w.AvgUtilization() != 0.5 {
+		t.Errorf("AvgUtilization = %v, want 0.5 (idle ranks count as 0)", w.AvgUtilization())
 	}
 	if w.AvgInit() <= 0 || w.MaxAppTime() < 0 {
 		t.Error("aggregate timings not populated")

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"sort"
 
 	"viampi/internal/core"
 	"viampi/internal/obs"
@@ -51,9 +52,16 @@ type Rank struct {
 
 	world *Comm
 
-	chans    []*chanState // by world rank; nil until created
-	active   []*chanState // creation order, for progress scans
+	// Per-peer channel state is sparse: active holds the live channels
+	// sorted by peer rank (the only representation — there is no dense
+	// by-rank table), so a rank's footprint and its per-poll scan cost are
+	// O(live connections), not O(world size). The sort order reproduces the
+	// rank-ascending walk MVICH's device check does over its per-destination
+	// table, so progress behaviour is independent of creation order.
+	active   []*chanState // live channels sorted by peer rank
+	peakLive int          // high-water mark of len(active) (RankStats.PeakChans)
 	viToChan map[*via.VI]*chanState
+	addrs    []via.Addr // shared bootstrap table (world rank -> VIA address)
 
 	prq []*Request // posted receive queue, post order
 	umq []*umsg    // unexpected message queue, arrival order
@@ -69,11 +77,14 @@ type Rank struct {
 	appStart simnet.Time
 	prof     *profiler
 
-	// Observability (all nil/unused when the bus is off).
+	// Observability (all nil/unused when the bus is off). The sequence
+	// counters are sparse maps keyed by peer so tracing costs O(peers
+	// talked to), not O(world size); map reads/writes on the hot send and
+	// receive paths allocate nothing in steady state (hotalloc-pinned).
 	bus     *obs.Bus
 	phases  *obs.Phases
-	sendSeq []int64 // per-peer user-message sequence, send side
-	recvSeq []int64 // per-peer user-message sequence, receive side
+	sendSeq map[int]int64 // per-peer user-message sequence, send side
+	recvSeq map[int]int64 // per-peer user-message sequence, receive side
 
 	finalized bool
 }
@@ -183,8 +194,13 @@ func (r *Rank) prepareChannel(ch *core.Channel) {
 	}
 	cs := &chanState{peer: peer, ch: ch, credits: initial}
 	ch.UserData = cs
-	r.chans[peer] = cs
-	r.active = append(r.active, cs)
+	i := sort.Search(len(r.active), func(k int) bool { return r.active[k].peer >= peer })
+	r.active = append(r.active, nil)
+	copy(r.active[i+1:], r.active[i:])
+	r.active[i] = cs
+	if len(r.active) > r.peakLive {
+		r.peakLive = len(r.active)
+	}
 	r.viToChan[ch.Vi] = cs
 	r.growPool(cs, initial)
 }
@@ -271,7 +287,6 @@ func (r *Rank) teardownChannel(cs *chanState) {
 	cs.pendingClose = nil
 	cs.closing = false
 	delete(r.viToChan, cs.ch.Vi)
-	r.chans[cs.peer] = nil
 	for i, c := range r.active {
 		if c == cs {
 			r.active = append(r.active[:i], r.active[i+1:]...)
@@ -444,13 +459,11 @@ func (r *Rank) progressStep() {
 	r.mgr.Poll()
 
 	// Reap send completions so VIA queues don't grow without bound. All
-	// channel scans run in rank order (MVICH's device check walks its
-	// per-destination table by rank), so progress behaviour is identical
-	// whether channels were created eagerly or on demand.
-	for _, cs := range r.chans {
-		if cs == nil {
-			continue
-		}
+	// channel scans run in peer-rank order (active is kept sorted — MVICH's
+	// device check walks its per-destination table by rank), so progress
+	// behaviour is identical whether channels were created eagerly or on
+	// demand, and each poll costs O(live channels), not O(world size).
+	for _, cs := range r.active {
 		for cs.ch.Vi.SendDone() != nil {
 		}
 	}
@@ -487,8 +500,8 @@ func (r *Rank) progressStep() {
 	// Flow-queue drain and credit returns. Closing channels are skipped:
 	// their flow queue is empty by the quiescence checks, and granting
 	// credits on a dying channel would only race its teardown.
-	for _, cs := range r.chans {
-		if cs == nil || !cs.ch.Up || cs.closing {
+	for _, cs := range r.active {
+		if !cs.ch.Up || cs.closing {
 			continue
 		}
 		for len(cs.flowQ) > 0 && cs.credits >= r.creditNeed(cs.flowQ[0]) {

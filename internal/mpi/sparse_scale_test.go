@@ -1,0 +1,172 @@
+package mpi
+
+import (
+	"testing"
+
+	"viampi/internal/simnet"
+	"viampi/internal/via"
+)
+
+// scaleTune keeps thousand-rank worlds cheap on real memory: 4 credits of
+// 112-byte eager buffers per VI instead of the default 24×5048B. Virtual
+// behaviour is unchanged in kind — the tests below assert counts and
+// footprints, not timings.
+func scaleTune(cfg *Config) {
+	cfg.CreditCount = 4
+	cfg.EagerThreshold = 64
+}
+
+// runScaleRing runs an n-rank on-demand neighbour ring and returns the
+// world stats. Each rank talks to exactly two peers, so per-rank state
+// must stay O(2) no matter how large n grows.
+func runScaleRing(t *testing.T, n int) *World {
+	t.Helper()
+	cfg := Config{Procs: n, Policy: "ondemand",
+		Deadline: 300 * simnet.Second,
+		TuneCost: func(c *via.CostModel) { c.MaxVIsPerPort = 16 }}
+	scaleTune(&cfg)
+	w, err := Run(cfg, func(r *Rank) {
+		c := r.World()
+		me := c.Rank()
+		out := []byte{byte(me)}
+		in := make([]byte, 4)
+		if _, err := c.Sendrecv((me+1)%n, 0, out, (me+n-1)%n, 0, in); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("on-demand %d-rank ring: %v", n, err)
+	}
+	return w
+}
+
+// assertSparseRing checks the tentpole invariant at scale: every rank's
+// connection footprint — VIs created, live channels, and allocated channel
+// slots — tracks the 2-neighbour partner set, not the world size.
+func assertSparseRing(t *testing.T, w *World, n int) {
+	t.Helper()
+	totalSlots := 0
+	for _, rs := range w.Ranks {
+		if rs.VisCreated > 2 {
+			t.Fatalf("rank %d created %d VIs for a 2-neighbour ring", rs.Rank, rs.VisCreated)
+		}
+		if rs.PeakChans > 2 {
+			t.Fatalf("rank %d held %d simultaneous channels for a 2-neighbour ring", rs.Rank, rs.PeakChans)
+		}
+		totalSlots += rs.PeakChans
+	}
+	// O(live) job-wide: 2n slots for the ring, where the old dense layout
+	// would have allocated n slots per rank — n² in total.
+	if totalSlots > 2*n {
+		t.Fatalf("job allocated %d channel slots, want ≤ %d (O(live), not O(n²))", totalSlots, 2*n)
+	}
+}
+
+// TestOnDemandRing1024Sparse is the headline scale smoke: a 1024-rank
+// on-demand ring where per-rank channel state must stay proportional to
+// the live connection count. Before the sparse refactor each rank carried
+// a 1024-entry channel table and two 1024-entry sequence arrays; now it
+// carries two.
+func TestOnDemandRing1024Sparse(t *testing.T) {
+	const n = 1024
+	assertSparseRing(t, runScaleRing(t, n), n)
+}
+
+// TestOnDemandRing2048Sparse doubles the world to the acceptance size: the
+// 2048-rank ring must complete inside the tier-1 suite in seconds of wall
+// time with the same O(live) per-rank footprint.
+func TestOnDemandRing2048Sparse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2048-rank ring skipped in -short mode")
+	}
+	const n = 2048
+	assertSparseRing(t, runScaleRing(t, n), n)
+}
+
+// TestStartupEventsLinear pins the MPI_Init fix: with the park/broadcast
+// barrier, booting an n-rank world costs O(1) simulator events per rank.
+// Each rank samples the global event counter as it enters main — the
+// single-runnable discipline makes the read race-free — and the high-water
+// mark must stay a small constant multiple of n (measured ≈3n; the old
+// sleep-poll grid admitted no such bound once arrivals staggered).
+func TestStartupEventsLinear(t *testing.T) {
+	const n = 1024
+	cfg := Config{Procs: n, Policy: "ondemand", Deadline: 60 * simnet.Second}
+	scaleTune(&cfg)
+	atEntry := make([]uint64, n)
+	if _, err := Run(cfg, func(r *Rank) {
+		atEntry[r.Rank()] = r.Proc().Sim().EventCount
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var peak uint64
+	for _, c := range atEntry {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak == 0 {
+		t.Fatal("no rank sampled a nonzero event count; instrumentation is broken")
+	}
+	if peak > 8*n {
+		t.Fatalf("startup dispatched %d events for %d ranks, want ≤ %d (O(n) boot)", peak, n, 8*n)
+	}
+}
+
+// TestBarrierWakeBeatsSleepPoll compares the two startup-barrier shapes at
+// the simnet level under staggered arrival — the regime the old code got
+// wrong. n-1 procs arrive at t=0 and one straggler arrives 1ms late. The
+// sleep-poll barrier re-arms a 5µs timer per waiter per poll (≈200 events
+// each just to wait out the straggler); the park/broadcast barrier costs
+// one park and one wake per waiter. Both release waiters at the same
+// virtual instant; the event bill differs by orders of magnitude.
+func TestBarrierWakeBeatsSleepPoll(t *testing.T) {
+	const n = 64
+	const straggle = simnet.Millisecond
+
+	run := func(barrier func(p *simnet.Proc, opened *int, waiting *[]*simnet.Proc)) uint64 {
+		sim := simnet.New(42)
+		sim.SetDeadline(simnet.Time(0).Add(10 * simnet.Second))
+		opened := 0
+		var waiting []*simnet.Proc
+		for i := 0; i < n; i++ {
+			start := simnet.Time(0)
+			if i == n-1 {
+				start = start.Add(straggle)
+			}
+			sim.Spawn("p", start, func(p *simnet.Proc) {
+				barrier(p, &opened, &waiting)
+			})
+		}
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if opened != n {
+			t.Fatalf("barrier lost procs: %d of %d arrived", opened, n)
+		}
+		return sim.EventCount
+	}
+
+	sleepPoll := run(func(p *simnet.Proc, opened *int, _ *[]*simnet.Proc) {
+		*opened++
+		for *opened < n {
+			p.Sleep(5 * simnet.Microsecond)
+		}
+	})
+	parkWake := run(func(p *simnet.Proc, opened *int, waiting *[]*simnet.Proc) {
+		*opened++
+		if *opened < n {
+			*waiting = append(*waiting, p)
+			p.Park()
+		} else {
+			for _, q := range *waiting {
+				q.WakeAfter(5 * simnet.Microsecond)
+			}
+		}
+	})
+
+	if parkWake*10 > sleepPoll {
+		t.Fatalf("park/broadcast barrier used %d events vs sleep-poll's %d; want ≥10× drop",
+			parkWake, sleepPoll)
+	}
+}
