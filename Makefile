@@ -1,9 +1,9 @@
 # Single entry point for CI and builders: `make check` is the tier-1 gate.
 GO ?= go
 
-.PHONY: check fmt vet build test race analyze figures bench-snapshot bench-smoke bench-sim bench-sim-snapshot bench-sim-smoke fault-smoke replay-smoke scale-smoke
+.PHONY: check fmt vet build test race analyze fsm-dot fsm-dot-check figures bench-snapshot bench-smoke bench-sim bench-sim-snapshot bench-sim-smoke fault-smoke replay-smoke scale-smoke
 
-check: fmt vet build test race analyze bench-smoke bench-sim-smoke fault-smoke replay-smoke scale-smoke
+check: fmt vet build test race analyze fsm-dot-check bench-smoke bench-sim-smoke fault-smoke replay-smoke scale-smoke
 
 # gofmt -l prints offending files; any output is a failure.
 fmt:
@@ -39,6 +39,20 @@ analyze:
 	if [ $$took -gt $(ANALYZE_BUDGET) ]; then \
 		echo "make analyze: took $${took}s, budget $(ANALYZE_BUDGET)s — the analyzer pass is too slow for tier-1"; exit 1; \
 	fi
+
+# The connection-lifecycle diagram is generated from code (the fsm rule's
+# extraction), not hand-drawn. Regenerate after changing the VI state
+# machine; fsm-dot-check diffs the committed artifact so it cannot drift.
+fsm-dot:
+	$(GO) run ./cmd/viampi-vet -root . -fsm-dot > docs/connection-fsm.dot
+
+fsm-dot-check:
+	@tmp=$$(mktemp) || exit 1; \
+	trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) run ./cmd/viampi-vet -root . -fsm-dot > $$tmp || exit $$?; \
+	cmp -s docs/connection-fsm.dot $$tmp || { \
+		echo "fsm-dot-check: docs/connection-fsm.dot is stale — run 'make fsm-dot' and commit the diff"; exit 1; }; \
+	echo "fsm-dot-check: committed diagram matches the extracted machine"
 
 figures:
 	$(GO) run ./cmd/figures -all -quick

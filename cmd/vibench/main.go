@@ -248,10 +248,14 @@ func run(dev string, maxVis int) error {
 				}
 				if mode == "rdma" {
 					target := make([]byte, size)
-					key, _, err := port.RegisterRdmaTarget(target)
+					key, mem, err := port.RegisterRdmaTarget(target)
 					if !must(p, err) {
 						return
 					}
+					// The registration pins the target against the port-wide
+					// budget for the whole run; give it back when the worker
+					// finishes so repeated modes never accumulate.
+					defer port.ReleaseRdmaTarget(key, mem)
 					kb := make([]byte, 8)
 					for i := 0; i < 8; i++ {
 						kb[i] = byte(key >> (8 * i))

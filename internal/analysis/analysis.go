@@ -3,7 +3,7 @@
 // strictly-downward package layering, and total determinism of virtual time
 // (a run is a pure function of its Config).
 //
-// Twelve analyzers ship (see the Analyzers registry). Four are syntactic:
+// Fifteen analyzers ship (see the Analyzers registry). Four are syntactic:
 // layering checks the import DAG, determinism bans
 // wall-clock/global-rand/goroutines/locks in simulated code, maporder flags
 // order-sensitive iteration over Go maps, and costcharge verifies that
@@ -19,6 +19,15 @@
 // dispatcher arms agree in both directions), chargeflow (every path from an
 // MPI entry point to a fabric transmit charges CPU cost), and wakereach (a
 // park-visible transition is reached by a wake through the call graph).
+// Three are the v4 resource-lifetime and protocol-model rules: paired
+// (every policy-declared acquire — pinned-memory registration, VI slots,
+// bus subscriptions, capture writers — is released on every path, with
+// escape-to-field and ownership-transfer summaries), fsm (the connection
+// state machine extracted from the code has no dead states, matches the
+// committed DOT diagram, and its 2-peer product automata model-check
+// deadlock-free under fault-plan loss/refusal/reordering), and seqcheck (no
+// send on a closed or evicted channel without an interposed rebind through
+// the reconnect path).
 // Legitimate exceptions live in one place, policy.go, so they are declared
 // in code review rather than scattered as comments — and the stale-policy
 // sweep (stale.go) fails the build when an exception no longer matches any
@@ -76,6 +85,9 @@ func Analyzers() []*Analyzer {
 		ProtocolAnalyzer(),
 		ChargeFlowAnalyzer(),
 		WakeReachAnalyzer(),
+		PairedAnalyzer(),
+		FSMAnalyzer(),
+		SeqCheckAnalyzer(),
 	}
 }
 

@@ -56,6 +56,12 @@ type Interproc struct {
 	Funcs map[string]*IPFunc // by Key
 	Keys  []string           // sorted, for deterministic iteration
 
+	// Sweeps counts full module sweeps made by summary-propagation
+	// fixpoints (and the paired rule's derived-acquire rounds) across all
+	// analyzers this run — the -json driver reports it on stderr so CI can
+	// watch convergence cost.
+	Sweeps int
+
 	calls   map[string][]IPCall // per function, source order (literals included)
 	callers map[string][]string // inverse edges, sorted+deduped
 }
@@ -271,6 +277,7 @@ func inModule(m *Module, pkg *types.Package) bool {
 func (ip *Interproc) fixpoint(step func(key string) bool) {
 	for changed := true; changed; {
 		changed = false
+		ip.Sweeps++
 		for _, key := range ip.Keys {
 			if step(key) {
 				changed = true

@@ -55,10 +55,18 @@ func TestFixtureDiagnostics(t *testing.T) {
 		"internal/tcpvia/locks.go:10: layering",       // restricted leaf imports a layered package
 		"internal/tcpvia/locks.go:23: locks",          // Lock with no Unlock on the skip path
 		"internal/tcpvia/locks.go:25: locks",          // layered call under the leaf lock
+		"internal/via/enum.go:13: fsm",                // ViError is declared but no transition enters it
 		"internal/via/enum.go:19: exhaustive",         // ViState switch misses ViClosed
 		"internal/via/enum.go:71: exhaustive",         // wire-kind switch misses kindConnNack and kindDisc
+		"internal/via/paired.go:31: paired",           // leakEarlyReturn: flush path returns still holding h
+		"internal/via/paired.go:65: paired",           // discardHandle: result dropped, unreleasable
+		"internal/via/paired.go:76: paired",           // doubleRelease: second Deregister of a dead handle
+		"internal/via/paired.go:91: paired",           // storeLeak: field (holder).h has no releasing path
+		"internal/via/paired.go:125: paired",          // wrapperCallerLeaks: obligation inherited from acquireWrapped
 		"internal/via/protocol.go:17: protocol",       // kindDisc arm is dead: nothing sends it
 		"internal/via/protocol.go:38: protocol",       // kindConnNack sent, no dispatcher arm
+		"internal/via/seqcheck.go:29: seqcheck",       // sendAfterClose: post on the VI it just closed
+		"internal/via/seqcheck.go:38: seqcheck",       // evictMaybe: closed on the evict branch, sent after the join
 		"internal/via/via.go:6: layering",             // via imports mpi (upward)
 		"internal/via/via.go:22: costcharge",          // Cluster.Send with no charge
 		"internal/via/waitwake.go:35: waitwake",       // state flips closed, no waker on path
@@ -94,6 +102,9 @@ func TestFixtureMessagesCiteTheFix(t *testing.T) {
 		"protocol":    "handler arm",
 		"chargeflow":  "Policy.ChargeFlowExempt",
 		"wakereach":   "Policy.WakeReachAllow",
+		"paired":      "Policy.PairedAllow",
+		"fsm":         "wire a transition",
+		"seqcheck":    "Policy.SeqCheckAllow",
 	}
 	seen := map[string]bool{}
 	for _, d := range ds {

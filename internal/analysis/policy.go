@@ -135,6 +135,46 @@ type Policy struct {
 	// ColdCalls are failure-path callees whose arguments may box: the call
 	// records a failure or aborts the run.
 	ColdCalls map[string]bool
+
+	// PairedSpecs declares the acquire/release obligations the paired rule
+	// enforces: every call to an Acquires function creates an obligation
+	// that must be discharged — by a Releases call, an escape into a struct
+	// field that some function releases, or an ownership-transferring
+	// return — on every CFG path out of the acquiring function.
+	PairedSpecs []PairedSpec
+	// PairedAllow exempts whole functions (policy-qualified names) from the
+	// paired rule, with the argument for why their handles do not leak —
+	// typically run-scoped resources reaped wholesale at teardown.
+	PairedAllow map[string]string
+
+	// FSMStates maps a connection-state enum type (qualified type name) to
+	// the struct field that holds it; the fsm rule extracts the transition
+	// graph from every assignment to that field, flags states that are
+	// never entered, and renders the machine as DOT (-fsm-dot).
+	FSMStates map[string]string
+	// FSMModelCheck enables exhaustive model checking of the 2-peer
+	// connection and eviction product automata against the extracted
+	// machine. Off for fixture modules, whose toy machines are not the
+	// protocol the models encode.
+	FSMModelCheck bool
+
+	// SeqCheckClose lists the functions that close or evict a channel; the
+	// value records what each dismantles. After one of these runs on a
+	// variable, the seqcheck rule forbids sends rooted at the same variable
+	// until it is rebound (the reconnect path returns a fresh channel).
+	SeqCheckClose map[string]string
+	// SeqCheckSend lists the send entry points the rule guards.
+	SeqCheckSend map[string]string
+	// SeqCheckAllow exempts functions from the sequencing rule, with
+	// justifications.
+	SeqCheckAllow map[string]string
+}
+
+// PairedSpec is one acquire/release resource pair the paired rule tracks.
+type PairedSpec struct {
+	Resource string   // what the handle pins, for messages
+	Acquires []string // policy-qualified functions returning an owned handle
+	Releases []string // policy-qualified functions that discharge it
 }
 
 // DefaultPolicy returns the policy for the viampi module — the encoded form
@@ -321,6 +361,58 @@ func DefaultPolicy() *Policy {
 		ColdCalls: map[string]bool{
 			"internal/simnet.(Sim).Failf": true, // records a failure and kills the run; its fmt args may box
 		},
+		// The eager-pool buffer lifecycle (growPool get → teardownChannel
+		// put) rides on the pinned-memory pair below: pool buffers ARE
+		// registered regions, so tracking Register/Deregister through the
+		// memHandles field covers it. The pendingClose enqueue/replay pair
+		// is a protocol obligation, not a handle, and is proved by the fsm
+		// rule's eviction model (no stuck pendingClose).
+		PairedSpecs: []PairedSpec{
+			{
+				Resource: "pinned memory registration",
+				Acquires: []string{"internal/via.(MemoryRegistry).Register"},
+				Releases: []string{"internal/via.(MemoryRegistry).Deregister"},
+			},
+			{
+				Resource: "RDMA target registration",
+				Acquires: []string{"internal/via.(Port).RegisterRdmaTarget"},
+				Releases: []string{"internal/via.(Port).ReleaseRdmaTarget"},
+			},
+			{
+				Resource: "VI endpoint slot",
+				Acquires: []string{"internal/via.(Port).CreateVi", "internal/via.(Port).CreateViCQ"},
+				Releases: []string{"internal/via.(VI).Close"},
+			},
+			{
+				Resource: "event-bus subscription",
+				Acquires: []string{"internal/obs.(Bus).Subscribe"},
+				Releases: []string{"internal/obs.(Bus).Unsubscribe"},
+			},
+			{
+				Resource: "capture bundle writer",
+				Acquires: []string{"internal/obs/capture.NewWriter"},
+				Releases: []string{"internal/obs/capture.(Writer).Close"},
+			},
+		},
+		PairedAllow: map[string]string{
+			"internal/bench.Pingpong": "the idle extra VIs are Figure 1's independent variable; the whole Port dies with the run",
+			"cmd/vibench.prepare":     "deliberately provisions idle VIs to measure per-VI cost; the Port dies with the process",
+		},
+		FSMStates: map[string]string{
+			"internal/via.ViState": "internal/via.(VI).state",
+		},
+		FSMModelCheck: true,
+		SeqCheckClose: map[string]string{
+			"internal/mpi.(Rank).teardownChannel": "dismantles the channel: closes the VI, deregisters pool memory, forgets the peer",
+			"internal/via.(VI).Close":             "disconnects and retires the endpoint; descriptors posted after this are lost",
+		},
+		SeqCheckSend: map[string]string{
+			"internal/mpi.(Rank).post":        "enqueue on the channel send FIFO",
+			"internal/mpi.(Rank).emit":        "control-packet send on the channel",
+			"internal/via.(VI).PostSend":      "post a send descriptor on the VI work queue",
+			"internal/via.(VI).PostRdmaWrite": "post an RDMA write on the VI work queue",
+		},
+		SeqCheckAllow: map[string]string{},
 	}
 }
 
@@ -341,5 +433,10 @@ func FixturePolicy() *Policy {
 	p.LockExempt = map[string]string{}
 	p.LockOrderAllow = map[string]string{}
 	p.ProtocolNeverSent = map[string]string{}
+	p.PairedAllow = map[string]string{}
+	p.SeqCheckAllow = map[string]string{}
+	// The fixture's toy state machine is not the connection protocol the
+	// product-automaton models encode; only extraction runs on fixtures.
+	p.FSMModelCheck = false
 	return p
 }

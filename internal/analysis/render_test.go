@@ -57,8 +57,8 @@ func TestRunAllSorted(t *testing.T) {
 // author to update docs, fixtures, and this suite together.
 func TestRegistryComplete(t *testing.T) {
 	as := Analyzers()
-	if len(as) != 12 {
-		t.Fatalf("Analyzers() returned %d rules, want 12", len(as))
+	if len(as) != 15 {
+		t.Fatalf("Analyzers() returned %d rules, want 15", len(as))
 	}
 	wantNames := []string{
 		"layering", "determinism", "maporder", "costcharge",

@@ -52,6 +52,14 @@ func StalePolicy(m *Module, p *Policy) []string {
 	checkFuncs("HotPaths", sortedStrKeys(p.HotPaths))
 	checkFuncs("ColdCalls", sortedBoolKeys(p.ColdCalls))
 	checkFuncs("ProtocolDispatch", sortedStrKeys(p.ProtocolDispatch))
+	for _, spec := range p.PairedSpecs {
+		checkFuncs("PairedSpecs."+spec.Resource, spec.Acquires)
+		checkFuncs("PairedSpecs."+spec.Resource, spec.Releases)
+	}
+	checkFuncs("PairedAllow", sortedStrKeys(p.PairedAllow))
+	checkFuncs("SeqCheckClose", sortedStrKeys(p.SeqCheckClose))
+	checkFuncs("SeqCheckSend", sortedStrKeys(p.SeqCheckSend))
+	checkFuncs("SeqCheckAllow", sortedStrKeys(p.SeqCheckAllow))
 
 	for _, rel := range sortedStrKeys(p.DeterminismExempt) {
 		if !pkgExists(rel) {
@@ -106,6 +114,14 @@ func StalePolicy(m *Module, p *Policy) []string {
 	for _, key := range stateKeys {
 		if !typeExists(m, key) {
 			report("WaitWakeStates", key, "type")
+		}
+	}
+	for _, key := range sortedStrKeys(p.FSMStates) {
+		if !typeExists(m, key) {
+			report("FSMStates", key, "type")
+		}
+		if field := p.FSMStates[key]; !fieldExists(m, field) {
+			report("FSMStates", field, "struct field")
 		}
 	}
 	for _, edge := range sortedStrKeys(p.LockOrderAllow) {

@@ -1,0 +1,24 @@
+// fsm.go is the fixture home of the connection-FSM extraction cases: guarded
+// transitions into ViConnecting and ViConnected, so that together with the
+// ViClosed writers in waitwake.go and seqcheck.go exactly one declared state
+// (ViError) is never entered — the fsm rule's dead-state case.
+package via
+
+// Connect opens the fixture handshake — extracted as ViIdle → ViConnecting
+// (the early-return guard narrows the source set).
+func Connect(vi *VI) {
+	if vi.state != ViIdle {
+		return
+	}
+	vi.state = ViConnecting
+	vi.port.notifyActivity()
+}
+
+// establish completes it — extracted as ViConnecting → ViConnected (the
+// enclosing if narrows the source set).
+func establish(vi *VI) {
+	if vi.state == ViConnecting {
+		vi.state = ViConnected
+		vi.port.notifyActivity()
+	}
+}

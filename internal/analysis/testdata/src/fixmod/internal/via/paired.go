@@ -1,0 +1,140 @@
+// paired.go is the fixture home of the resource-lifetime cases: a mirror of
+// the real pinned-memory registry the paired rule's specs name, plus the
+// acquire/release shapes — leak on an early return, defer discharge, double
+// release, discarded handles, escape-to-field stores, and ownership returned
+// through a wrapper.
+package via
+
+// MemHandle mirrors the real pinned-memory handle.
+type MemHandle uint64
+
+// MemoryRegistry mirrors the real pinned-memory registry; Register/Deregister
+// are the policy-declared acquire/release pair.
+type MemoryRegistry struct {
+	next MemHandle
+}
+
+// Register pins buf and returns its handle (fixture acquire).
+func (r *MemoryRegistry) Register(buf []byte) (MemHandle, error) {
+	r.next++
+	return r.next, nil
+}
+
+// Deregister unpins a handle (fixture release).
+func (r *MemoryRegistry) Deregister(h MemHandle) error {
+	return nil
+}
+
+// leakEarlyReturn releases on the slow path but returns early on the flush
+// path with the registration still held — must flag the acquire.
+func leakEarlyReturn(reg *MemoryRegistry, buf []byte, flush bool) error {
+	h, err := reg.Register(buf)
+	if err != nil {
+		return err
+	}
+	if flush {
+		return nil // paired violation: h is still registered here
+	}
+	return reg.Deregister(h)
+}
+
+// deferReleased discharges by defer, which covers every exit — must NOT
+// flag.
+func deferReleased(reg *MemoryRegistry, buf []byte) error {
+	h, err := reg.Register(buf)
+	if err != nil {
+		return err
+	}
+	defer reg.Deregister(h)
+	return nil
+}
+
+// registerSwap releases inside the final return — must NOT flag (a release
+// in a return statement is a release, not an ownership transfer).
+func registerSwap(reg *MemoryRegistry, buf []byte) error {
+	h, err := reg.Register(buf)
+	if err != nil {
+		return err
+	}
+	return reg.Deregister(h)
+}
+
+// discardHandle drops the handle on the floor — must flag: nothing can ever
+// release it.
+func discardHandle(reg *MemoryRegistry, buf []byte) {
+	reg.Register(buf) // paired violation: result discarded
+}
+
+// doubleRelease deregisters the same handle twice — must flag the second
+// release.
+func doubleRelease(reg *MemoryRegistry, buf []byte) {
+	h, err := reg.Register(buf)
+	if err != nil {
+		return
+	}
+	reg.Deregister(h)
+	reg.Deregister(h) // paired violation: already released on every path here
+}
+
+// holder parks a handle in a field no function ever releases through.
+type holder struct {
+	h MemHandle
+}
+
+// storeLeak escapes the handle into holder.h — must flag the store: the
+// global field pass finds no release through (holder).h.
+func storeLeak(reg *MemoryRegistry, hold *holder, buf []byte) error {
+	h, err := reg.Register(buf)
+	if err != nil {
+		return err
+	}
+	hold.h = h // paired violation: no releasing path through this field
+	return nil
+}
+
+// keeper parks a handle in a field its drop method releases through.
+type keeper struct {
+	h MemHandle
+}
+
+// storeKeep escapes the handle into keeper.h — must NOT flag: drop releases
+// through the field.
+func storeKeep(reg *MemoryRegistry, k *keeper, buf []byte) error {
+	h, err := reg.Register(buf)
+	if err != nil {
+		return err
+	}
+	k.h = h
+	return nil
+}
+
+// drop is the releasing path for keeper.h.
+func (k *keeper) drop(reg *MemoryRegistry) {
+	reg.Deregister(k.h)
+}
+
+// acquireWrapped returns ownership to its caller, so it becomes an acquire
+// site itself — the wrapper is clean, its careless caller is not.
+func acquireWrapped(reg *MemoryRegistry, buf []byte) (MemHandle, error) {
+	return reg.Register(buf)
+}
+
+// wrapperCallerLeaks inherits the obligation from acquireWrapped and never
+// discharges it — must flag.
+func wrapperCallerLeaks(reg *MemoryRegistry, buf []byte) error {
+	h, err := acquireWrapped(reg, buf)
+	if err != nil {
+		return err
+	}
+	_ = h // paired violation: the wrapped registration is never released
+	return nil
+}
+
+// wrapperCallerClean releases what the wrapper acquired — must NOT flag.
+func wrapperCallerClean(reg *MemoryRegistry, buf []byte) error {
+	h, err := acquireWrapped(reg, buf)
+	if err != nil {
+		return err
+	}
+	return reg.Deregister(h)
+}

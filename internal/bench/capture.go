@@ -56,24 +56,27 @@ func CaptureWorkload(record bool, seed int64) (CaptureResult, error) {
 		cw = w
 		cw.Attach(cfg.Obs)
 	} else {
-		cfg.Obs.Subscribe(func(obs.Event) { counted++ })
+		sub := cfg.Obs.Subscribe(func(obs.Event) { counted++ })
+		defer cfg.Obs.Unsubscribe(sub)
 	}
 
 	w, err := apps.Replay(apps.CG(), cfg, rounds, msgBytes)
 	if err != nil {
+		if cw != nil {
+			cw.Close() // seal and detach; the Replay error is the one to report
+		}
 		return CaptureResult{}, err
 	}
 	res := CaptureResult{VirtualNS: int64(w.Elapsed)}
-	if record {
+	res.Name = "capture-off/CG/np=8"
+	res.Events = counted
+	if cw != nil {
 		if err := cw.Close(); err != nil {
 			return CaptureResult{}, err
 		}
 		res.Name = "capture-on/CG/np=8"
 		res.Events = cw.Events()
 		res.BundleBytes = cw.Bytes()
-	} else {
-		res.Name = "capture-off/CG/np=8"
-		res.Events = counted
 	}
 	return res, nil
 }

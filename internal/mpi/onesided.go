@@ -37,6 +37,9 @@ func (c *Comm) WinCreate(buf []byte) (*Win, error) {
 	}
 	keys := make([]int64, c.Size())
 	if err := c.AllgatherI64([]int64{int64(key)}, keys); err != nil {
+		// The registration pins memory against the port-wide budget; a
+		// failed key exchange must not leave it pinned forever.
+		c.r.port.ReleaseRdmaTarget(key, mem)
 		return nil, err
 	}
 	w := &Win{c: c, buf: buf, key: key, mem: mem, puts: make([]int64, c.Size())}

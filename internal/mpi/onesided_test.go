@@ -175,3 +175,48 @@ func TestWinOnDemandFootprint(t *testing.T) {
 		}
 	}
 }
+
+// TestWinPinnedBalanced: window lifecycle against the pinned-memory budget.
+// WinCreate pins the exposed buffer; Free must give every byte back, and
+// repeated cycles must not accumulate. The WinCreate error path (a failed
+// key exchange must release the registration it just made) is enforced
+// statically by the paired analyzer selfcheck — deleting that release fails
+// `go test ./internal/analysis`.
+func TestWinPinnedBalanced(t *testing.T) {
+	runWorld(t, testCfg(2), func(r *Rank) {
+		c := r.World()
+		// Warm-up cycle: the collectives inside WinCreate/Free bring up
+		// on-demand connections whose eager pools pin memory for the life of
+		// the channel; the balance assertion is about the window pin only.
+		w0, err := c.WinCreate(make([]byte, 4096))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := w0.Free(); err != nil {
+			t.Error(err)
+			return
+		}
+		base := r.port.Memory().Pinned()
+		for cycle := 0; cycle < 3; cycle++ {
+			w, err := c.WinCreate(make([]byte, 4096))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if r.port.Memory().Pinned() <= base {
+				t.Errorf("cycle %d: window buffer not pinned (pinned=%d base=%d)",
+					cycle, r.port.Memory().Pinned(), base)
+			}
+			if err := w.Free(); err != nil {
+				t.Error(err)
+				return
+			}
+			if got := r.port.Memory().Pinned(); got != base {
+				t.Errorf("cycle %d: pinned=%d after Free, want baseline %d — the window registration leaked",
+					cycle, got, base)
+				return
+			}
+		}
+	})
+}

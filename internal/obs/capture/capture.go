@@ -135,6 +135,8 @@ type Writer struct {
 	events int64
 	flushd int64 // bytes handed to out so far
 	err    error
+	bus    *obs.Bus
+	sub    obs.Sub
 }
 
 // NewWriter writes the bundle header for h to out and returns a Writer for
@@ -161,12 +163,13 @@ func NewWriter(out io.Writer, h Header) (*Writer, error) {
 	return w, nil
 }
 
-// Attach subscribes the writer to b. A nil bus is ignored.
+// Attach subscribes the writer to b. A nil bus is ignored. Close detaches
+// again, so a sealed bundle never keeps consuming bus events.
 func (w *Writer) Attach(b *obs.Bus) {
 	if b == nil {
 		return
 	}
-	b.Subscribe(w.Consume)
+	w.bus, w.sub = b, b.Subscribe(w.Consume)
 }
 
 // Consume encodes one event. It is the recording hot path: at steady state
@@ -220,10 +223,15 @@ func (w *Writer) flush() {
 	w.buf = w.buf[:0]
 }
 
-// Close seals the bundle: end marker, total event count, final flush. The
-// underlying io.Writer is not closed. Close reports the first error the
-// writer encountered anywhere.
+// Close seals the bundle: end marker, total event count, final flush, and
+// unsubscription from any bus the writer was Attached to (events emitted
+// after Close would corrupt a sealed bundle). The underlying io.Writer is
+// not closed. Close reports the first error the writer encountered anywhere.
 func (w *Writer) Close() error {
+	if w.bus != nil {
+		w.bus.Unsubscribe(w.sub)
+		w.bus = nil
+	}
 	if w.err == nil {
 		w.buf = append(w.buf, 0)
 		w.buf = binary.AppendUvarint(w.buf, uint64(w.events))
@@ -469,6 +477,8 @@ type Ring struct {
 	buf  []obs.Event
 	next int
 	n    int64
+	bus  *obs.Bus
+	sub  obs.Sub
 }
 
 // NewRing returns a ring holding the last capacity events (minimum 1).
@@ -484,7 +494,15 @@ func (r *Ring) Attach(b *obs.Bus) {
 	if b == nil {
 		return
 	}
-	b.Subscribe(r.Consume)
+	r.bus, r.sub = b, b.Subscribe(r.Consume)
+}
+
+// Detach unsubscribes the ring; retained events stay dumpable.
+func (r *Ring) Detach() {
+	if r.bus != nil {
+		r.bus.Unsubscribe(r.sub)
+		r.bus = nil
+	}
 }
 
 // Consume stores one event, evicting the oldest when full. Allocation-free.

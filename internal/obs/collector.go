@@ -14,6 +14,9 @@ type Collector struct {
 	connect   *Histogram
 	egress    *Histogram
 	reconn    *Histogram
+
+	bus *Bus
+	sub Sub
 }
 
 type msgKey struct {
@@ -53,7 +56,15 @@ func (c *Collector) Attach(b *Bus) {
 	if b == nil {
 		return
 	}
-	b.Subscribe(c.consume)
+	c.bus, c.sub = b, b.Subscribe(c.consume)
+}
+
+// Detach unsubscribes the collector; the registry keeps its counts.
+func (c *Collector) Detach() {
+	if c.bus != nil {
+		c.bus.Unsubscribe(c.sub)
+		c.bus = nil
+	}
 }
 
 func pairKey(rank, peer int32) uint64 {

@@ -169,8 +169,27 @@ type Bus struct {
 // NewBus returns an empty bus.
 func NewBus() *Bus { return &Bus{} }
 
-// Subscribe registers fn to receive every subsequent event.
-func (b *Bus) Subscribe(fn func(Event)) { b.subs = append(b.subs, fn) }
+// Sub identifies one subscription on a Bus, for Unsubscribe. Subscription
+// slots are never reused, so a stale Sub at worst re-clears a nil slot.
+type Sub int
+
+// Subscribe registers fn to receive every subsequent event and returns the
+// handle that detaches it again. Every subscriber must keep the handle: a
+// subscription without an Unsubscribe path pins its closure (and whatever
+// sink it feeds) for the life of the bus.
+func (b *Bus) Subscribe(fn func(Event)) Sub {
+	b.subs = append(b.subs, fn)
+	return Sub(len(b.subs) - 1)
+}
+
+// Unsubscribe detaches the subscription s. Safe on a nil bus and idempotent:
+// the slot is nilled, not compacted, so other handles stay valid.
+func (b *Bus) Unsubscribe(s Sub) {
+	if b == nil || int(s) < 0 || int(s) >= len(b.subs) {
+		return
+	}
+	b.subs[int(s)] = nil
+}
 
 // Emit delivers e to all subscribers. Safe (and free) on a nil bus.
 func (b *Bus) Emit(e Event) {
@@ -178,6 +197,9 @@ func (b *Bus) Emit(e Event) {
 		return
 	}
 	for _, fn := range b.subs {
+		if fn == nil {
+			continue
+		}
 		fn(e)
 	}
 }

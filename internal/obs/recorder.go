@@ -5,6 +5,8 @@ package obs
 // experiment into one recorder; each run becomes a Perfetto process).
 type Recorder struct {
 	runs []run
+	bus  *Bus
+	sub  Sub
 }
 
 type run struct {
@@ -22,7 +24,16 @@ func (r *Recorder) Attach(b *Bus) {
 	if b == nil {
 		return
 	}
-	b.Subscribe(r.record)
+	r.bus, r.sub = b, b.Subscribe(r.record)
+}
+
+// Detach unsubscribes the recorder from the bus it was attached to; the
+// recorded runs remain readable.
+func (r *Recorder) Detach() {
+	if r.bus != nil {
+		r.bus.Unsubscribe(r.sub)
+		r.bus = nil
+	}
 }
 
 func (r *Recorder) record(e Event) {

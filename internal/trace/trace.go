@@ -30,6 +30,8 @@ type Recorder struct {
 	bytes  [][]int64
 	events []Event
 	keep   bool // retain individual events (memory-heavy)
+	bus    *obs.Bus
+	sub    obs.Sub
 }
 
 // New creates a Recorder; keepEvents retains the full event log (for
@@ -53,11 +55,19 @@ func (r *Recorder) Attach(b *obs.Bus) {
 	if b == nil {
 		return
 	}
-	b.Subscribe(func(e obs.Event) {
+	r.bus, r.sub = b, b.Subscribe(func(e obs.Event) {
 		if e.Kind == obs.EvMsgSend {
 			r.Record(e.T, int(e.Rank), int(e.Peer), int(e.A), int(e.B))
 		}
 	})
+}
+
+// Detach unsubscribes the recorder from its bus; the matrices remain.
+func (r *Recorder) Detach() {
+	if r.bus != nil {
+		r.bus.Unsubscribe(r.sub)
+		r.bus = nil
+	}
 }
 
 // Record notes one message.
