@@ -1,9 +1,12 @@
 # Single entry point for CI and builders: `make check` is the tier-1 gate.
 GO ?= go
+# Worker-pool size for the batch-parallel sweep targets; every artifact is
+# byte-identical at any -j, so the default is simply all host cores.
+NPROC ?= $(shell nproc 2>/dev/null || echo 1)
 
-.PHONY: check fmt vet build test race analyze fsm-dot fsm-dot-check figures bench-snapshot bench-smoke bench-sim bench-sim-snapshot bench-sim-smoke fault-smoke replay-smoke scale-smoke
+.PHONY: check fmt vet build test race analyze fsm-dot fsm-dot-check figures bench-snapshot bench-smoke bench-sim bench-sim-snapshot bench-sim-smoke fault-smoke replay-smoke scale-smoke sweep-smoke
 
-check: fmt vet build test race analyze fsm-dot-check bench-smoke bench-sim-smoke fault-smoke replay-smoke scale-smoke
+check: fmt vet build test race analyze fsm-dot-check bench-smoke bench-sim-smoke fault-smoke replay-smoke scale-smoke sweep-smoke
 
 # gofmt -l prints offending files; any output is a failure.
 fmt:
@@ -23,8 +26,10 @@ test:
 # internal/mpi and internal/core are single-threaded by design, so -race
 # there proves the simulated stack never silently grows a second runnable
 # goroutine (the one-runnable discipline the determinism rule encodes).
+# internal/sweep is the batch runner — the one other package with real
+# concurrency — so its worker pool and progress tracker run under -race too.
 race:
-	$(GO) test -race ./internal/tcpvia/... ./internal/mpi/... ./internal/core/...
+	$(GO) test -race ./internal/tcpvia/... ./internal/mpi/... ./internal/core/... ./internal/sweep/...
 
 # The invariant analyzers also run inside `go test` (the selfcheck); this
 # target is the direct, human-readable form. The wall-time budget keeps the
@@ -55,17 +60,17 @@ fsm-dot-check:
 	echo "fsm-dot-check: committed diagram matches the extracted machine"
 
 figures:
-	$(GO) run ./cmd/figures -all -quick
+	$(GO) run ./cmd/figures -all -quick -j $(NPROC)
 
 # Full microbenchmark snapshot; the output is deterministic for a fixed
 # seed, so regenerate and commit BENCH_micro.json when perf-relevant code
 # changes, and the diff is the review artifact.
 bench-snapshot:
-	$(GO) run ./cmd/benchsnap -out BENCH_micro.json
+	$(GO) run ./cmd/benchsnap -j $(NPROC) -out BENCH_micro.json
 
 # Tiny subset proving the snapshot path works; part of `make check`.
 bench-smoke:
-	$(GO) run ./cmd/benchsnap -smoke > /dev/null
+	$(GO) run ./cmd/benchsnap -smoke -j $(NPROC) > /dev/null
 
 # Scheduler-core wall-clock benchmarks: the measurement rail for the
 # zero-allocation event loop. 0 allocs/op on BenchmarkSimCore is an
@@ -120,3 +125,18 @@ replay-smoke:
 		echo "replay-smoke: diff failed to flag divergent runs"; exit 1; \
 	fi; \
 	echo "replay-smoke: record -> replay byte-identical; diff verdicts correct"
+
+# The batch runner's merge-determinism contract on the real binary: the same
+# tiny grid rendered at -j1 and -j2 must be byte-identical (the in-tree
+# TestMergeDeterminism proves it at the library layer; this proves the
+# driver plumbing adds nothing nondeterministic on top).
+sweep-smoke:
+	@tmp=$$(mktemp -d) || exit 1; \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	set -e; \
+	$(GO) build -o $$tmp/figures ./cmd/figures; \
+	$$tmp/figures -run ext-evict -quick -q -j 1 > $$tmp/j1.txt; \
+	$$tmp/figures -run ext-evict -quick -q -j 2 > $$tmp/j2.txt; \
+	cmp -s $$tmp/j1.txt $$tmp/j2.txt || { \
+		echo "sweep-smoke: -j1 and -j2 artifacts differ — the merge leaked completion order"; exit 1; }; \
+	echo "sweep-smoke: -j1 and -j2 artifacts byte-identical"

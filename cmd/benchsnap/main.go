@@ -24,9 +24,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"viampi/internal/bench"
+	"viampi/internal/sweep"
 )
 
 func main() {
@@ -35,8 +38,11 @@ func main() {
 		smoke   = flag.Bool("smoke", false, "tiny subset (smoke test for make check)")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		simcore = flag.Bool("simcore", false, "scheduler-core wall-clock snapshot instead of the micro snapshot")
+		jobs    = flag.Int("j", 0, "worker pool size for the snapshot grids (0 = GOMAXPROCS); output is byte-identical at every -j")
+		quiet   = flag.Bool("q", false, "suppress the progress/ETA line")
 	)
 	flag.Parse()
+	progress := sweep.Stderr(*quiet)
 
 	sizes := []int{8, 1024, 4096, 16384}
 	ppIters, bwIters := 50, 100
@@ -76,58 +82,73 @@ func main() {
 
 	fmt.Fprintf(w, "{\n  \"device\": \"clan\",\n  \"seed\": %d,\n  \"smoke\": %v,\n", *seed, *smoke)
 
-	fmt.Fprint(w, "  \"pingpong_one_way_ns\": [\n")
-	first := true
+	// Each snapshot section is an indexed job list rendering its own JSON
+	// line; the batch runner's index-ordered merge keeps the file
+	// byte-identical at every -j.
+	run := func(section string, js []sweep.Job[string]) []string {
+		lines, err := sweep.Values(sweep.Run(sweep.Options{
+			Workers: *jobs, Progress: progress, Label: "benchsnap/" + section}, js))
+		if err != nil {
+			fail(section, err)
+		}
+		return lines
+	}
+
+	var ppJobs []sweep.Job[string]
 	for _, mech := range mechs {
 		for _, size := range sizes {
-			lat, err := bench.Pingpong("clan", mech, size, ppIters, 0, *seed)
-			if err != nil {
-				fail("pingpong", err)
-			}
-			if !first {
-				fmt.Fprint(w, ",\n")
-			}
-			first = false
-			fmt.Fprintf(w, "    {\"mech\": %q, \"bytes\": %d, \"ns\": %d}", mech.Name, size, int64(lat))
+			mech, size := mech, size
+			ppJobs = append(ppJobs, sweep.Job[string]{
+				ID: fmt.Sprintf("pingpong/%s/%dB", mech.Name, size),
+				Run: func() (string, error) {
+					lat, err := bench.Pingpong("clan", mech, size, ppIters, 0, *seed)
+					if err != nil {
+						return "", err
+					}
+					return fmt.Sprintf("    {\"mech\": %q, \"bytes\": %d, \"ns\": %d}", mech.Name, size, int64(lat)), nil
+				},
+			})
 		}
 	}
-	fmt.Fprint(w, "\n  ],\n")
+	fmt.Fprintf(w, "  \"pingpong_one_way_ns\": [\n%s\n  ],\n", strings.Join(run("pingpong", ppJobs), ",\n"))
 
-	fmt.Fprint(w, "  \"bandwidth_mbps\": [\n")
-	first = true
+	var bwJobs []sweep.Job[string]
 	for _, mech := range mechs {
-		mbps, err := bench.Bandwidth("clan", mech, 16384, bwIters, *seed)
-		if err != nil {
-			fail("bandwidth", err)
-		}
-		if !first {
-			fmt.Fprint(w, ",\n")
-		}
-		first = false
-		fmt.Fprintf(w, "    {\"mech\": %q, \"bytes\": 16384, \"mbps\": %.3f}", mech.Name, mbps)
+		mech := mech
+		bwJobs = append(bwJobs, sweep.Job[string]{
+			ID: "bandwidth/" + mech.Name,
+			Run: func() (string, error) {
+				mbps, err := bench.Bandwidth("clan", mech, 16384, bwIters, *seed)
+				if err != nil {
+					return "", err
+				}
+				return fmt.Sprintf("    {\"mech\": %q, \"bytes\": 16384, \"mbps\": %.3f}", mech.Name, mbps), nil
+			},
+		})
 	}
-	fmt.Fprint(w, "\n  ],\n")
+	fmt.Fprintf(w, "  \"bandwidth_mbps\": [\n%s\n  ],\n", strings.Join(run("bandwidth", bwJobs), ",\n"))
 
 	procs := []int{8, 16}
 	if *smoke {
 		procs = []int{4}
 	}
-	fmt.Fprint(w, "  \"init_avg_ns\": [\n")
-	first = true
+	var initJobs []sweep.Job[string]
 	for _, mech := range mechs {
 		for _, np := range procs {
-			d, err := bench.InitTime("clan", mech, np, *seed)
-			if err != nil {
-				fail("init", err)
-			}
-			if !first {
-				fmt.Fprint(w, ",\n")
-			}
-			first = false
-			fmt.Fprintf(w, "    {\"mech\": %q, \"np\": %d, \"ns\": %d}", mech.Name, np, int64(d))
+			mech, np := mech, np
+			initJobs = append(initJobs, sweep.Job[string]{
+				ID: fmt.Sprintf("init/%s/np=%d", mech.Name, np),
+				Run: func() (string, error) {
+					d, err := bench.InitTime("clan", mech, np, *seed)
+					if err != nil {
+						return "", err
+					}
+					return fmt.Sprintf("    {\"mech\": %q, \"np\": %d, \"ns\": %d}", mech.Name, np, int64(d)), nil
+				},
+			})
 		}
 	}
-	fmt.Fprint(w, "\n  ],\n")
+	fmt.Fprintf(w, "  \"init_avg_ns\": [\n%s\n  ],\n", strings.Join(run("init", initJobs), ",\n"))
 
 	if err := captureOverhead(w, *seed); err != nil {
 		fail("capture-overhead", err)
@@ -250,6 +271,39 @@ func simcoreSnapshot(w io.Writer, smoke bool) error {
 			res.Name, res.Events, res.VirtualNS, wall.Nanoseconds(), perSec)
 	}
 	fmt.Fprint(w, "\n  ],\n")
+	if err := sweepWallClock(w); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "  \"seed_baseline\": %s\n}\n", seedBaseline)
+	return nil
+}
+
+// sweepWallClock is the SweepWallClock rail: it times the quick ext-init
+// grid through the batch runner at j=1 and j=GOMAXPROCS and reports both
+// wall times and their ratio. The rail measures the *runner's* parallel
+// speedup, not ext-init's absolute cost, so the quick grid (which the full
+// grid's cells merely scale up) carries the signal while keeping snapshot
+// regeneration in seconds — the full grid reaches 4096-rank worlds and
+// would add tens of minutes per run. Both runs render identical tables
+// (internal/bench's merge-determinism test asserts this); only the wall
+// fields differ, and they are machine-dependent like every wall figure in
+// this file. On a single-core host the two runs coincide and the speedup
+// sits at ~1.0; on an N-core host the grid's independent cells should push
+// it toward min(N, cells on the critical row).
+func sweepWallClock(w io.Writer) error {
+	maxJ := runtime.GOMAXPROCS(0)
+	opt := bench.Options{Quick: true, Seed: 1}
+	var walls [2]time.Duration
+	for i, j := range []int{1, maxJ} {
+		opt.Workers = j
+		start := time.Now()
+		if _, err := bench.ExtInit(opt); err != nil {
+			return err
+		}
+		walls[i] = time.Since(start)
+	}
+	fmt.Fprintf(w, "  \"sweep_wall_clock\": {\"suite\": \"ext-init\", \"quick\": true, \"gomaxprocs\": %d, \"wall_ns_j1\": %d, \"wall_ns_jmax\": %d, \"speedup\": %.2f},\n",
+		maxJ, walls[0].Nanoseconds(), walls[1].Nanoseconds(),
+		float64(walls[0])/float64(walls[1]))
 	return nil
 }

@@ -20,6 +20,7 @@ import (
 	"viampi/internal/bench"
 	"viampi/internal/mpi"
 	"viampi/internal/obs"
+	"viampi/internal/sweep"
 )
 
 func main() {
@@ -33,11 +34,16 @@ func main() {
 		report = flag.String("report", "", "file to write a combined markdown report")
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		traced = flag.String("trace", "", "write a Perfetto trace of every measurement run to `file`")
+		jobs   = flag.Int("j", 0, "worker pool size for the sweep grids (0 = GOMAXPROCS); output is byte-identical at every -j")
+		quiet  = flag.Bool("q", false, "suppress the progress/ETA line")
 	)
 	flag.Parse()
 
 	var flight *obs.Recorder
 	if *traced != "" {
+		// The shared flight recorder is mutated by every measurement run, so
+		// traced runs are pinned to one worker.
+		*jobs = 1
 		// One flight recorder spans all runs; each measurement run becomes
 		// its own process group in the exported trace.
 		flight = obs.NewRecorder()
@@ -74,7 +80,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := bench.Options{Quick: *quick, Seed: *seed}
+	opt := bench.Options{Quick: *quick, Seed: *seed, Workers: *jobs, Progress: sweep.Stderr(*quiet)}
 	var md *os.File
 	if *report != "" {
 		if dir := filepath.Dir(*report); dir != "." {

@@ -12,15 +12,18 @@
 //	viampi-replay -metrics -phases run.bin
 //	viampi-replay -csv metrics.csv -json metrics.json run.bin
 //	viampi-replay -diff a.bin b.bin
+//	viampi-replay -diff -j4 a1.bin b1.bin a2.bin b2.bin   # batch: diff pairs
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 
 	"viampi/internal/obs"
 	"viampi/internal/obs/capture"
+	"viampi/internal/sweep"
 )
 
 func main() {
@@ -31,22 +34,62 @@ func main() {
 		csvTo   = flag.String("csv", "", "write the metrics registry as CSV to `file`")
 		jsonTo  = flag.String("json", "", "write the metrics registry as JSON to `file`")
 		phases  = flag.Bool("phases", false, "print the per-rank phase decomposition")
-		diff    = flag.Bool("diff", false, "compare two bundles: first structural divergence and per-kind deltas")
+		diff    = flag.Bool("diff", false, "compare bundle pairs: first structural divergence and per-kind deltas")
+		jobsN   = flag.Int("j", 0, "worker pool size for batch -diff (0 = GOMAXPROCS); output is byte-identical at every -j")
+		quiet   = flag.Bool("q", false, "suppress the progress/ETA line")
 	)
 	flag.Parse()
 
 	if *diff {
-		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: viampi-replay -diff a.bin b.bin")
+		if flag.NArg() < 2 || flag.NArg()%2 != 0 {
+			fmt.Fprintln(os.Stderr, "usage: viampi-replay -diff a.bin b.bin [a2.bin b2.bin ...]")
 			os.Exit(2)
 		}
-		a, b := readBundle(flag.Arg(0)), readBundle(flag.Arg(1))
-		d := capture.Diff(a, b)
-		if err := d.WriteText(os.Stdout); err != nil {
+		// Each pair loads and diffs on a worker; reports print in argument
+		// order, so batch output is byte-identical at every -j.
+		type pairReport struct {
+			text      []byte
+			identical bool
+		}
+		npairs := flag.NArg() / 2
+		jobs := make([]sweep.Job[pairReport], npairs)
+		for i := 0; i < npairs; i++ {
+			pa, pb := flag.Arg(2*i), flag.Arg(2*i+1)
+			jobs[i] = sweep.Job[pairReport]{
+				ID: pa + " vs " + pb,
+				Run: func() (pairReport, error) {
+					a, err := loadBundle(pa)
+					if err != nil {
+						return pairReport{}, err
+					}
+					b, err := loadBundle(pb)
+					if err != nil {
+						return pairReport{}, err
+					}
+					d := capture.Diff(a, b)
+					var buf bytes.Buffer
+					if err := d.WriteText(&buf); err != nil {
+						return pairReport{}, err
+					}
+					return pairReport{text: buf.Bytes(), identical: d.Identical()}, nil
+				},
+			}
+		}
+		reports, err := sweep.Values(sweep.Run(sweep.Options{
+			Workers: *jobsN, Progress: sweep.Stderr(*quiet), Label: "replay/diff"}, jobs))
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if !d.Identical() {
+		allSame := true
+		for i, r := range reports {
+			if npairs > 1 {
+				fmt.Printf("== %s ==\n", jobs[i].ID)
+			}
+			os.Stdout.Write(r.text)
+			allSame = allSame && r.identical
+		}
+		if !allSame {
 			os.Exit(1) // differing runs exit nonzero, like diff(1)
 		}
 		return
@@ -100,18 +143,27 @@ func main() {
 }
 
 func readBundle(path string) *capture.Bundle {
-	f, err := os.Open(path)
+	b, err := loadBundle(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	return b
+}
+
+// loadBundle reads one capture bundle, returning errors instead of exiting
+// so it can run on sweep workers.
+func loadBundle(path string) (*capture.Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
 	defer f.Close()
 	b, err := capture.ReadBundle(f)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
-		os.Exit(1)
+		return nil, fmt.Errorf("%s: %v", path, err)
 	}
-	return b
+	return b, nil
 }
 
 func toFile(path string, write func(*os.File) error) {

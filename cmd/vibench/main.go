@@ -20,6 +20,7 @@ import (
 
 	"viampi/internal/fabric"
 	"viampi/internal/simnet"
+	"viampi/internal/sweep"
 	"viampi/internal/via"
 )
 
@@ -27,17 +28,63 @@ func main() {
 	var (
 		device = flag.String("device", "", "clan | bvia | ib (default: all)")
 		maxVis = flag.Int("maxvis", 128, "largest open-VI count in the scaling curve")
+		jobsN  = flag.Int("j", 0, "worker pool size (0 = GOMAXPROCS); output is byte-identical at every -j")
+		quiet  = flag.Bool("q", false, "suppress the progress/ETA line")
 	)
 	flag.Parse()
 	devices := []string{"clan", "bvia", "ib"}
 	if *device != "" {
 		devices = []string{*device}
 	}
+	var visList []int
+	for n := 1; n <= *maxVis; n *= 4 {
+		visList = append(visList, n)
+	}
+	bwModes := []string{"send", "rdma"}
+
+	// Every measurement is a hermetic two-process simulation, so the whole
+	// report fans out as one job list; the index-ordered merge reassembles
+	// the exact sequential output.
+	var jobs []sweep.Job[string]
 	for _, dev := range devices {
-		if err := run(dev, *maxVis); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		dev := dev
+		jobs = append(jobs, sweep.Job[string]{ID: dev + "/setup", Run: func() (string, error) { return setupLine(dev) }})
+		for _, vis := range visList {
+			vis := vis
+			jobs = append(jobs, sweep.Job[string]{
+				ID:  fmt.Sprintf("%s/lat/vis=%d", dev, vis),
+				Run: func() (string, error) { return latLine(dev, vis) },
+			})
 		}
+		for _, mode := range bwModes {
+			mode := mode
+			jobs = append(jobs, sweep.Job[string]{
+				ID:  dev + "/bw/" + mode,
+				Run: func() (string, error) { return bwLine(dev, mode) },
+			})
+		}
+	}
+	lines, err := sweep.Values(sweep.Run(sweep.Options{
+		Workers: *jobsN, Progress: sweep.Stderr(*quiet), Label: "vibench"}, jobs))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	i := 0
+	for _, dev := range devices {
+		fmt.Printf("== device %s ==\n", dev)
+		fmt.Print(lines[i])
+		i++
+		fmt.Printf("  one-way 4B latency by open VIs:\n")
+		for range visList {
+			fmt.Print(lines[i])
+			i++
+		}
+		for range bwModes {
+			fmt.Print(lines[i])
+			i++
+		}
+		fmt.Println()
 	}
 }
 
@@ -125,10 +172,8 @@ func must(p *simnet.Proc, err error) bool {
 	return true
 }
 
-func run(dev string, maxVis int) error {
-	fmt.Printf("== device %s ==\n", dev)
-
-	// Connection setup time (initiator's view).
+// setupLine measures connection setup time (initiator's view).
+func setupLine(dev string) (string, error) {
 	d, err := bench(dev,
 		func(p *simnet.Proc, port *via.Port, peer via.Addr, done func(simnet.Duration)) {
 			start := p.Now()
@@ -144,146 +189,143 @@ func run(dev string, maxVis int) error {
 			}
 		})
 	if err != nil {
-		return err
+		return "", err
 	}
-	fmt.Printf("  VI create + peer connect : %8.1f us\n", d.Micros())
+	return fmt.Sprintf("  VI create + peer connect : %8.1f us\n", d.Micros()), nil
+}
 
-	// Latency vs. open VIs (pingpong; both sides open extras).
-	fmt.Printf("  one-way 4B latency by open VIs:\n")
+// latLine measures one point of the latency-vs-open-VIs curve (pingpong;
+// both sides open extras).
+func latLine(dev string, vis int) (string, error) {
 	const iters = 30
-	for vis := 1; vis <= maxVis; vis *= 4 {
-		extra := vis - 1
-		d, err := bench(dev,
-			func(p *simnet.Proc, port *via.Port, peer via.Addr, done func(simnet.Duration)) {
-				vi, err := prepare(p, port, peer, 1, iters+2, 64, extra)
-				if !must(p, err) {
+	extra := vis - 1
+	d, err := bench(dev,
+		func(p *simnet.Proc, port *via.Port, peer via.Addr, done func(simnet.Duration)) {
+			vi, err := prepare(p, port, peer, 1, iters+2, 64, extra)
+			if !must(p, err) {
+				return
+			}
+			start := p.Now()
+			for i := 0; i < iters; i++ {
+				if !must(p, vi.PostSend(&via.Descriptor{Buf: []byte{1, 2, 3, 4}, Len: 4})) {
 					return
 				}
-				start := p.Now()
-				for i := 0; i < iters; i++ {
-					if !must(p, vi.PostSend(&via.Descriptor{Buf: []byte{1, 2, 3, 4}, Len: 4})) {
-						return
-					}
-					if _, err := vi.RecvWait(via.WaitPoll, -1); !must(p, err) {
-						return
-					}
-				}
-				done(p.Now().Sub(start) / (2 * iters))
-			},
-			func(p *simnet.Proc, port *via.Port, peer via.Addr, _ func(simnet.Duration)) {
-				vi, err := prepare(p, port, peer, 1, iters+2, 64, extra)
-				if !must(p, err) {
-					return
-				}
-				for i := 0; i < iters; i++ {
-					if _, err := vi.RecvWait(via.WaitPoll, -1); !must(p, err) {
-						return
-					}
-					if !must(p, vi.PostSend(&via.Descriptor{Buf: []byte{9, 9, 9, 9}, Len: 4})) {
-						return
-					}
-				}
-			})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("    %4d VIs open           : %8.1f us\n", vis, d.Micros())
-	}
-
-	// Send vs. RDMA bandwidth at 64 kB.
-	const size = 64 << 10
-	const bwIters = 40
-	for _, mode := range []string{"send", "rdma"} {
-		mode := mode
-		d, err := bench(dev,
-			func(p *simnet.Proc, port *via.Port, peer via.Addr, done func(simnet.Duration)) {
-				vi, err := prepare(p, port, peer, 1, 4, size, 0)
-				if !must(p, err) {
-					return
-				}
-				// Learn the RDMA key out of band (first receive).
-				var key uint64
-				if mode == "rdma" {
-					dk, err := vi.RecvWait(via.WaitPoll, -1)
-					if !must(p, err) {
-						return
-					}
-					for i := 0; i < 8; i++ {
-						key |= uint64(dk.Buf[i]) << (8 * i)
-					}
-				}
-				buf := make([]byte, size)
-				start := p.Now()
-				for i := 0; i < bwIters; i++ {
-					var desc *via.Descriptor
-					if mode == "rdma" {
-						desc = &via.Descriptor{Buf: buf, Len: size, RdmaKey: key}
-						if !must(p, vi.PostRdmaWrite(desc)) {
-							return
-						}
-					} else {
-						desc = &via.Descriptor{Buf: buf, Len: size}
-						if !must(p, vi.PostSend(desc)) {
-							return
-						}
-					}
-					if _, err := vi.SendWait(via.WaitPoll, -1); !must(p, err) {
-						return
-					}
-				}
-				// Completion handshake: peer acks when it has everything.
 				if _, err := vi.RecvWait(via.WaitPoll, -1); !must(p, err) {
 					return
 				}
-				done(p.Now().Sub(start))
-			},
-			func(p *simnet.Proc, port *via.Port, peer via.Addr, _ func(simnet.Duration)) {
-				recvs := 6
-				if mode == "send" {
-					recvs = bwIters + 4
+			}
+			done(p.Now().Sub(start) / (2 * iters))
+		},
+		func(p *simnet.Proc, port *via.Port, peer via.Addr, _ func(simnet.Duration)) {
+			vi, err := prepare(p, port, peer, 1, iters+2, 64, extra)
+			if !must(p, err) {
+				return
+			}
+			for i := 0; i < iters; i++ {
+				if _, err := vi.RecvWait(via.WaitPoll, -1); !must(p, err) {
+					return
 				}
-				vi, err := prepare(p, port, peer, 1, recvs, size, 0)
+				if !must(p, vi.PostSend(&via.Descriptor{Buf: []byte{9, 9, 9, 9}, Len: 4})) {
+					return
+				}
+			}
+		})
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("    %4d VIs open           : %8.1f us\n", vis, d.Micros()), nil
+}
+
+// bwLine measures send vs. RDMA bandwidth at 64 kB.
+func bwLine(dev, mode string) (string, error) {
+	const size = 64 << 10
+	const bwIters = 40
+	d, err := bench(dev,
+		func(p *simnet.Proc, port *via.Port, peer via.Addr, done func(simnet.Duration)) {
+			vi, err := prepare(p, port, peer, 1, 4, size, 0)
+			if !must(p, err) {
+				return
+			}
+			// Learn the RDMA key out of band (first receive).
+			var key uint64
+			if mode == "rdma" {
+				dk, err := vi.RecvWait(via.WaitPoll, -1)
 				if !must(p, err) {
 					return
 				}
+				for i := 0; i < 8; i++ {
+					key |= uint64(dk.Buf[i]) << (8 * i)
+				}
+			}
+			buf := make([]byte, size)
+			start := p.Now()
+			for i := 0; i < bwIters; i++ {
+				var desc *via.Descriptor
 				if mode == "rdma" {
-					target := make([]byte, size)
-					key, mem, err := port.RegisterRdmaTarget(target)
-					if !must(p, err) {
+					desc = &via.Descriptor{Buf: buf, Len: size, RdmaKey: key}
+					if !must(p, vi.PostRdmaWrite(desc)) {
 						return
-					}
-					// The registration pins the target against the port-wide
-					// budget for the whole run; give it back when the worker
-					// finishes so repeated modes never accumulate.
-					defer port.ReleaseRdmaTarget(key, mem)
-					kb := make([]byte, 8)
-					for i := 0; i < 8; i++ {
-						kb[i] = byte(key >> (8 * i))
-					}
-					if !must(p, vi.PostSend(&via.Descriptor{Buf: kb, Len: 8})) {
-						return
-					}
-					// RDMA writes are silent; wait for the stats to show
-					// all the bytes, then ack.
-					for port.Stats().RdmaBytes < int64(size*bwIters) {
-						port.WaitActivityTimeout(via.WaitPoll, 200*simnet.Microsecond)
 					}
 				} else {
-					for i := 0; i < bwIters; i++ {
-						if _, err := vi.RecvWait(via.WaitPoll, -1); !must(p, err) {
-							return
-						}
+					desc = &via.Descriptor{Buf: buf, Len: size}
+					if !must(p, vi.PostSend(desc)) {
+						return
 					}
 				}
-				if !must(p, vi.PostSend(&via.Descriptor{Buf: []byte{0xAC}, Len: 1})) {
+				if _, err := vi.SendWait(via.WaitPoll, -1); !must(p, err) {
 					return
 				}
-			})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("  %-4s bandwidth (64kB)    : %8.1f MB/s\n", mode, float64(size*bwIters)/d.Seconds()/1e6)
+			}
+			// Completion handshake: peer acks when it has everything.
+			if _, err := vi.RecvWait(via.WaitPoll, -1); !must(p, err) {
+				return
+			}
+			done(p.Now().Sub(start))
+		},
+		func(p *simnet.Proc, port *via.Port, peer via.Addr, _ func(simnet.Duration)) {
+			recvs := 6
+			if mode == "send" {
+				recvs = bwIters + 4
+			}
+			vi, err := prepare(p, port, peer, 1, recvs, size, 0)
+			if !must(p, err) {
+				return
+			}
+			if mode == "rdma" {
+				target := make([]byte, size)
+				key, mem, err := port.RegisterRdmaTarget(target)
+				if !must(p, err) {
+					return
+				}
+				// The registration pins the target against the port-wide
+				// budget for the whole run; give it back when the worker
+				// finishes so repeated modes never accumulate.
+				defer port.ReleaseRdmaTarget(key, mem)
+				kb := make([]byte, 8)
+				for i := 0; i < 8; i++ {
+					kb[i] = byte(key >> (8 * i))
+				}
+				if !must(p, vi.PostSend(&via.Descriptor{Buf: kb, Len: 8})) {
+					return
+				}
+				// RDMA writes are silent; wait for the stats to show
+				// all the bytes, then ack.
+				for port.Stats().RdmaBytes < int64(size*bwIters) {
+					port.WaitActivityTimeout(via.WaitPoll, 200*simnet.Microsecond)
+				}
+			} else {
+				for i := 0; i < bwIters; i++ {
+					if _, err := vi.RecvWait(via.WaitPoll, -1); !must(p, err) {
+						return
+					}
+				}
+			}
+			if !must(p, vi.PostSend(&via.Descriptor{Buf: []byte{0xAC}, Len: 1})) {
+				return
+			}
+		})
+	if err != nil {
+		return "", err
 	}
-	fmt.Println()
-	return nil
+	return fmt.Sprintf("  %-4s bandwidth (64kB)    : %8.1f MB/s\n", mode, float64(size*bwIters)/d.Seconds()/1e6), nil
 }

@@ -24,14 +24,16 @@ import (
 	"viampi/internal/obs"
 	"viampi/internal/obs/capture"
 	"viampi/internal/simnet"
+	"viampi/internal/sweep"
 	"viampi/internal/trace"
 	"viampi/internal/via"
 )
 
 // attachCapture wires a capture writer onto the run's bus so a divergence
-// leaves behind two diffable bundles instead of just two hashes.
-func attachCapture(t *testing.T, cfg *mpi.Config, rounds, msgBytes int) (*capture.Writer, *bytes.Buffer) {
-	t.Helper()
+// leaves behind two diffable bundles instead of just two hashes. It returns
+// errors rather than failing a testing.T because it runs on sweep workers,
+// where t.Fatalf is illegal.
+func attachCapture(cfg *mpi.Config, rounds, msgBytes int) (*capture.Writer, *bytes.Buffer, error) {
 	var bundle bytes.Buffer
 	cw, err := capture.NewWriter(&bundle, capture.Header{
 		Clock:  capture.ClockVirtual,
@@ -44,10 +46,10 @@ func attachCapture(t *testing.T, cfg *mpi.Config, rounds, msgBytes int) (*captur
 			cfg.Procs, cfg.Policy, cfg.Seed, cfg.MaxVIs, rounds, msgBytes),
 	})
 	if err != nil {
-		t.Fatalf("capture writer: %v", err)
+		return nil, nil, fmt.Errorf("capture writer: %w", err)
 	}
 	cw.Attach(cfg.Obs)
-	return cw, &bundle
+	return cw, &bundle, nil
 }
 
 // reportDivergence persists both runs' capture bundles outside the test's
@@ -81,23 +83,27 @@ func reportDivergence(t *testing.T, first, second []byte) {
 	t.Logf("capture bundles saved to %s (inspect with viampi-replay)\n%s", dir, out.String())
 }
 
-// runDigest executes one replay of the CG communication pattern under cfg
-// and folds everything observable about the run — the full timestamped
+// runDigestErr executes one replay of the CG communication pattern under
+// cfg and folds everything observable about the run — the full timestamped
 // event log plus per-rank statistics — into one hash. The returned bundle
 // is the run's full capture, fed to reportDivergence when digests differ.
-func runDigest(t *testing.T, cfg mpi.Config, rounds, msgBytes int) (string, []byte) {
-	t.Helper()
+// It returns errors instead of taking a testing.T so dual runs can execute
+// on concurrent sweep workers.
+func runDigestErr(cfg mpi.Config, rounds, msgBytes int) (string, []byte, error) {
 	rec := trace.New(cfg.Procs, true)
 	cfg.Trace = rec
 	cfg.Obs = obs.NewBus()
 	cfg.Deadline = 30 * simnet.Second
-	cw, bundle := attachCapture(t, &cfg, rounds, msgBytes)
+	cw, bundle, err := attachCapture(&cfg, rounds, msgBytes)
+	if err != nil {
+		return "", nil, err
+	}
 	w, err := apps.Replay(apps.CG(), cfg, rounds, msgBytes)
 	if err != nil {
-		t.Fatalf("replay (%s, %d procs): %v", cfg.Policy, cfg.Procs, err)
+		return "", nil, fmt.Errorf("replay (%s, %d procs): %w", cfg.Policy, cfg.Procs, err)
 	}
 	if err := cw.Close(); err != nil {
-		t.Fatalf("sealing capture bundle: %v", err)
+		return "", nil, fmt.Errorf("sealing capture bundle: %w", err)
 	}
 
 	h := sha256.New()
@@ -119,9 +125,52 @@ func runDigest(t *testing.T, cfg mpi.Config, rounds, msgBytes int) (string, []by
 		put(ev.TimeNs, int64(ev.Src), int64(ev.Dst), int64(ev.Bytes), int64(ev.Tag))
 	}
 	if len(rec.Events()) == 0 {
-		t.Fatalf("replay (%s, %d procs) recorded no trace events; the digest would be vacuous", cfg.Policy, cfg.Procs)
+		return "", nil, fmt.Errorf("replay (%s, %d procs) recorded no trace events; the digest would be vacuous", cfg.Policy, cfg.Procs)
 	}
-	return hex.EncodeToString(h.Sum(nil)), bundle.Bytes()
+	return hex.EncodeToString(h.Sum(nil)), bundle.Bytes(), nil
+}
+
+// runDigest is the sequential single-run wrapper kept for the digest-moves
+// sanity test.
+func runDigest(t *testing.T, cfg mpi.Config, rounds, msgBytes int) (string, []byte) {
+	t.Helper()
+	hash, bundle, err := runDigestErr(cfg, rounds, msgBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hash, bundle
+}
+
+// dualDigest runs two same-Config replays side by side on the batch
+// runner's workers — the dual-run determinism check and a live test that
+// concurrent simulations stay isolated — and fails the test on divergence.
+// mkCfg builds a fresh Config per run so per-run state (fault plans, buses)
+// is never shared.
+func dualDigest(t *testing.T, mkCfg func() mpi.Config, rounds, msgBytes int,
+	digest func(cfg mpi.Config, rounds, msgBytes int) (string, []byte, error)) {
+	t.Helper()
+	type run struct {
+		hash   string
+		bundle []byte
+	}
+	jobs := make([]sweep.Job[run], 2)
+	for i := range jobs {
+		jobs[i] = sweep.Job[run]{
+			ID: fmt.Sprintf("run%d", i+1),
+			Run: func() (run, error) {
+				h, b, err := digest(mkCfg(), rounds, msgBytes)
+				return run{h, b}, err
+			},
+		}
+	}
+	res, err := sweep.Values(sweep.Run(sweep.Options{Workers: 2}, jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].hash != res[1].hash {
+		reportDivergence(t, res[0].bundle, res[1].bundle)
+		t.Fatalf("two runs with identical Configs diverged:\n  run 1: %s\n  run 2: %s", res[0].hash, res[1].hash)
+	}
 }
 
 // TestDualRunDeterminism asserts byte-identical digests for every
@@ -131,14 +180,11 @@ func TestDualRunDeterminism(t *testing.T) {
 	for _, policy := range []string{"static-cs", "static-p2p", "ondemand"} {
 		for _, procs := range []int{8, 16} {
 			name := fmt.Sprintf("%s/p%d", policy, procs)
+			policy, procs := policy, procs
 			t.Run(name, func(t *testing.T) {
-				cfg := mpi.Config{Procs: procs, Policy: policy, Seed: 42}
-				first, fb := runDigest(t, cfg, rounds, msgBytes)
-				second, sb := runDigest(t, cfg, rounds, msgBytes)
-				if first != second {
-					reportDivergence(t, fb, sb)
-					t.Fatalf("two runs with identical Configs diverged:\n  run 1: %s\n  run 2: %s", first, second)
-				}
+				dualDigest(t, func() mpi.Config {
+					return mpi.Config{Procs: procs, Policy: policy, Seed: 42}
+				}, rounds, msgBytes, runDigestErr)
 			})
 		}
 	}
@@ -157,13 +203,9 @@ func TestDualRunDeterminismLargeWorld(t *testing.T) {
 		{Procs: 96, Policy: "ondemand", Seed: 42},
 		{Procs: 96, Policy: "static-p2p", Seed: 42, CreditCount: 4, EagerThreshold: 64},
 	} {
+		cfg := cfg
 		t.Run(fmt.Sprintf("%s/p%d", cfg.Policy, cfg.Procs), func(t *testing.T) {
-			first, fb := runDigest(t, cfg, rounds, msgBytes)
-			second, sb := runDigest(t, cfg, rounds, msgBytes)
-			if first != second {
-				reportDivergence(t, fb, sb)
-				t.Fatalf("96-rank runs with identical Configs diverged:\n  run 1: %s\n  run 2: %s", first, second)
-			}
+			dualDigest(t, func() mpi.Config { return cfg }, rounds, msgBytes, runDigestErr)
 		})
 	}
 }
@@ -175,14 +217,11 @@ func TestDualRunDeterminismLargeWorld(t *testing.T) {
 func TestEvictionDualRunDeterminism(t *testing.T) {
 	const rounds, msgBytes = 2, 1024
 	for _, procs := range []int{8, 16} {
+		procs := procs
 		t.Run(fmt.Sprintf("p%d", procs), func(t *testing.T) {
-			cfg := mpi.Config{Procs: procs, Policy: "ondemand", MaxVIs: 3, Seed: 42}
-			first, fb := runDigest(t, cfg, rounds, msgBytes)
-			second, sb := runDigest(t, cfg, rounds, msgBytes)
-			if first != second {
-				reportDivergence(t, fb, sb)
-				t.Fatalf("capped runs with identical Configs diverged:\n  run 1: %s\n  run 2: %s", first, second)
-			}
+			dualDigest(t, func() mpi.Config {
+				return mpi.Config{Procs: procs, Policy: "ondemand", MaxVIs: 3, Seed: 42}
+			}, rounds, msgBytes, runDigestErr)
 		})
 	}
 }
@@ -197,15 +236,12 @@ func TestFaultDualRunDeterminism(t *testing.T) {
 			DelayConnReq: 0.5, ConnReqDelay: 300 * simnet.Microsecond}
 	}
 	for _, policy := range []string{"static-p2p", "ondemand"} {
+		policy := policy
 		t.Run(policy, func(t *testing.T) {
-			cfg := mpi.Config{Procs: 8, Policy: policy, Seed: 42, Faults: plan()}
-			first, fb := runDigest(t, cfg, rounds, msgBytes)
-			cfg.Faults = plan()
-			second, sb := runDigest(t, cfg, rounds, msgBytes)
-			if first != second {
-				reportDivergence(t, fb, sb)
-				t.Fatalf("faulted runs with identical Configs diverged:\n  run 1: %s\n  run 2: %s", first, second)
-			}
+			// Each run builds its own fault plan: plans carry per-run state.
+			dualDigest(t, func() mpi.Config {
+				return mpi.Config{Procs: 8, Policy: policy, Seed: 42, Faults: plan()}
+			}, rounds, msgBytes, runDigestErr)
 		})
 	}
 }
@@ -214,8 +250,7 @@ func TestFaultDualRunDeterminism(t *testing.T) {
 // (flight recorder + metrics collector on one bus) and hashes the rendered
 // artifacts — the Perfetto trace JSON and the metrics JSON must themselves
 // be byte-identical across same-Config runs, not merely the raw events.
-func obsDigest(t *testing.T, cfg mpi.Config, rounds, msgBytes int) (string, []byte) {
-	t.Helper()
+func obsDigest(cfg mpi.Config, rounds, msgBytes int) (string, []byte, error) {
 	bus := obs.NewBus()
 	rec := obs.NewRecorder()
 	rec.Attach(bus)
@@ -223,25 +258,28 @@ func obsDigest(t *testing.T, cfg mpi.Config, rounds, msgBytes int) (string, []by
 	obs.NewCollector(reg).Attach(bus)
 	cfg.Obs = bus
 	cfg.Deadline = 30 * simnet.Second
-	cw, bundle := attachCapture(t, &cfg, rounds, msgBytes)
+	cw, bundle, err := attachCapture(&cfg, rounds, msgBytes)
+	if err != nil {
+		return "", nil, err
+	}
 	if _, err := apps.Replay(apps.CG(), cfg, rounds, msgBytes); err != nil {
-		t.Fatalf("replay (%s, %d procs): %v", cfg.Policy, cfg.Procs, err)
+		return "", nil, fmt.Errorf("replay (%s, %d procs): %w", cfg.Policy, cfg.Procs, err)
 	}
 	if err := cw.Close(); err != nil {
-		t.Fatalf("sealing capture bundle: %v", err)
+		return "", nil, fmt.Errorf("sealing capture bundle: %w", err)
 	}
 	if rec.Len() == 0 {
-		t.Fatal("observability run recorded no events; the digest would be vacuous")
+		return "", nil, fmt.Errorf("observability run recorded no events; the digest would be vacuous")
 	}
 	var tr, mt bytes.Buffer
 	if err := rec.WritePerfetto(&tr); err != nil {
-		t.Fatal(err)
+		return "", nil, err
 	}
 	reg.WriteJSON(&mt)
 	h := sha256.New()
 	h.Write(tr.Bytes())
 	h.Write(mt.Bytes())
-	return hex.EncodeToString(h.Sum(nil)), bundle.Bytes()
+	return hex.EncodeToString(h.Sum(nil)), bundle.Bytes(), nil
 }
 
 // TestObsDualRunDeterminism asserts the exported observability artifacts
@@ -250,14 +288,11 @@ func obsDigest(t *testing.T, cfg mpi.Config, rounds, msgBytes int) (string, []by
 func TestObsDualRunDeterminism(t *testing.T) {
 	const rounds, msgBytes = 2, 1024
 	for _, policy := range []string{"static-p2p", "ondemand"} {
+		policy := policy
 		t.Run(policy, func(t *testing.T) {
-			cfg := mpi.Config{Procs: 8, Policy: policy, Seed: 42}
-			first, fb := obsDigest(t, cfg, rounds, msgBytes)
-			second, sb := obsDigest(t, cfg, rounds, msgBytes)
-			if first != second {
-				reportDivergence(t, fb, sb)
-				t.Fatalf("observability artifacts diverged across identical runs:\n  run 1: %s\n  run 2: %s", first, second)
-			}
+			dualDigest(t, func() mpi.Config {
+				return mpi.Config{Procs: 8, Policy: policy, Seed: 42}
+			}, rounds, msgBytes, obsDigest)
 		})
 	}
 }

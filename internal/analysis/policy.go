@@ -201,6 +201,11 @@ func DefaultPolicy() *Policy {
 			"internal/obs":         true,
 			"internal/obs/capture": true,
 			"internal/trace":       true,
+			// The batch runner: every layer may fan hermetic jobs over it
+			// (bench grids, the fault matrix, cmd drivers), and it imports
+			// only the standard library, so the edge can never reach back
+			// into the simulation.
+			"internal/sweep": true,
 		},
 		RestrictedLeaves: map[string]bool{
 			"internal/tcpvia":   true,
@@ -213,6 +218,7 @@ func DefaultPolicy() *Policy {
 			"internal/analysis": "static-analysis tooling; never on a simulation path",
 			"cmd/benchsnap":     "wall-clock rail for BENCH_simcore.json; the virtual-time snapshot it also emits is pinned byte-stable by make check",
 			"cmd/viampi-vet":    "analysis driver; the -json timing line measures host load/analyze wall time and goes to stderr, never near a simulation path",
+			"internal/sweep":    "the one sanctioned home for naked goroutines, sync primitives, and wall-clock reads outside simulated time: jobs are hermetic whole simulations, and the index-ordered merge erases completion order, so host scheduling never reaches an artifact",
 		},
 		GoStmtAllowed: map[string]bool{
 			"internal/simnet": true,
@@ -357,6 +363,11 @@ func DefaultPolicy() *Policy {
 			"internal/simnet.(Proc).Compute":     "CPU-cost charge: timer-wake arm + park",
 			"internal/simnet.(Proc).ParkTimeout": "timeout-wake arm + park on the progress-wait path",
 			"internal/simnet.(Proc).WakeAfter":   "cross-process wake scheduling; runs on every completion notify",
+			// The batch runner's per-completion bookkeeping: it sits inside
+			// the timed region of the SweepWallClock rail, so it must not add
+			// GC pressure to the measurement (rendering, the fmt-heavy half,
+			// only runs when a progress sink is attached).
+			"internal/sweep.(tracker).advance": "runs on every job completion inside the SweepWallClock timed region; a counter bump under an uncontended lock must stay allocation-free",
 		},
 		ColdCalls: map[string]bool{
 			"internal/simnet.(Sim).Failf": true, // records a failure and kills the run; its fmt args may box

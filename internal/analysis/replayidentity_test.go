@@ -47,7 +47,10 @@ func liveRun(t *testing.T, cfg mpi.Config, rounds, msgBytes int) (artifacts, []b
 	obs.NewCollector(reg).Attach(bus)
 	cfg.Obs = bus
 	cfg.Deadline = 30 * simnet.Second
-	cw, bundle := attachCapture(t, &cfg, rounds, msgBytes)
+	cw, bundle, err := attachCapture(&cfg, rounds, msgBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
 	w, err := apps.Replay(apps.CG(), cfg, rounds, msgBytes)
 	if err != nil {
 		t.Fatalf("replay (%s, %d procs): %v", cfg.Policy, cfg.Procs, err)

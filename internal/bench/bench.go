@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"viampi/internal/simnet"
+	"viampi/internal/sweep"
 )
 
 // Options tunes experiment execution.
@@ -23,6 +24,13 @@ type Options struct {
 	// the whole suite runs in seconds (used by tests and -quick).
 	Quick bool
 	Seed  int64
+	// Workers bounds the batch-runner pool the grid experiments fan their
+	// hermetic simulation cells over; <= 0 means GOMAXPROCS. Every rendered
+	// artifact is byte-identical for every value — only wall time changes.
+	Workers int
+	// Progress, when non-nil, receives the runner's jobs-done/ETA line
+	// (drivers pass sweep.Stderr, which is nil unless stderr is a terminal).
+	Progress sweep.ProgressFunc
 }
 
 // Table is a rendered experiment result.

@@ -5,6 +5,7 @@ import (
 
 	"viampi/internal/mpi"
 	"viampi/internal/obs"
+	"viampi/internal/sweep"
 )
 
 // ExtEvict sweeps the on-demand manager's VI cap on the Berkeley VIA
@@ -42,25 +43,40 @@ func ExtEvict(opt Options) (*Table, error) {
 			}
 		}
 	}
-	for _, maxVIs := range []int{0, 8, 4, 2} {
-		cfg := baseConfig("bvia", OnDemand, n, opt.Seed)
-		cfg.MaxVIs = maxVIs
-		reg := obs.NewRegistry()
-		if cfg.Obs == nil { // leave an Instrument-provided bus in place
-			cfg.Obs = obs.NewBus()
+	caps := []int{0, 8, 4, 2}
+	jobs := make([]sweep.Job[[]string], len(caps))
+	for i, maxVIs := range caps {
+		maxVIs := maxVIs
+		jobs[i] = sweep.Job[[]string]{
+			ID: fmt.Sprintf("ext-evict/cap=%d", maxVIs),
+			Run: func() ([]string, error) {
+				cfg := baseConfig("bvia", OnDemand, n, opt.Seed)
+				cfg.MaxVIs = maxVIs
+				reg := obs.NewRegistry()
+				if cfg.Obs == nil { // leave an Instrument-provided bus in place
+					cfg.Obs = obs.NewBus()
+				}
+				obs.NewCollector(reg).Attach(cfg.Obs)
+				w, err := mpi.Run(cfg, workload)
+				if err != nil {
+					return nil, fmt.Errorf("ext-evict cap=%d: %w", maxVIs, err)
+				}
+				lat := reg.Hist("msg.latency_ns", nil).Mean() / 1e3
+				perRank := float64(w.TotalPinnedPeak()) / float64(n) / 1024
+				return []string{fmt.Sprint(maxVIs), fmtF(w.AvgVIs()), fmtF(perRank),
+					fmtF(lat),
+					fmt.Sprint(reg.Counter("conn.evictions")),
+					fmt.Sprint(reg.Counter("conn.retries")),
+					fmt.Sprintf("%.3f", w.Elapsed.Seconds()*1e3)}, nil
+			},
 		}
-		obs.NewCollector(reg).Attach(cfg.Obs)
-		w, err := mpi.Run(cfg, workload)
-		if err != nil {
-			return nil, fmt.Errorf("ext-evict cap=%d: %w", maxVIs, err)
-		}
-		lat := reg.Hist("msg.latency_ns", nil).Mean() / 1e3
-		perRank := float64(w.TotalPinnedPeak()) / float64(n) / 1024
-		t.AddRow(fmt.Sprint(maxVIs), fmtF(w.AvgVIs()), fmtF(perRank),
-			fmtF(lat),
-			fmt.Sprint(reg.Counter("conn.evictions")),
-			fmt.Sprint(reg.Counter("conn.retries")),
-			fmt.Sprintf("%.3f", w.Elapsed.Seconds()*1e3))
+	}
+	rows, err := runGrid(opt, "ext-evict", jobs)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }

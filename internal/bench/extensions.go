@@ -6,6 +6,7 @@ import (
 	"viampi/internal/apps"
 	"viampi/internal/mpi"
 	"viampi/internal/npb"
+	"viampi/internal/sweep"
 )
 
 // ExtScale pushes the paper's scalability argument past its 8-node testbed:
@@ -35,25 +36,39 @@ func ExtScale(opt Options) (*Table, error) {
 			r.Proc().Sim().Failf("ring: %v", err)
 		}
 	}
+	type scaleCell struct {
+		initMs   string
+		pinnedMB float64
+	}
+	mechs := []Mechanism{StaticCS, StaticPolling, OnDemand}
+	var jobs []sweep.Job[scaleCell]
 	for _, n := range sizes {
-		row := []string{fmt.Sprint(n)}
-		var pinned [2]float64
-		for _, mech := range []Mechanism{StaticCS, StaticPolling, OnDemand} {
-			cfg := baseConfig("clan", mech, n, opt.Seed)
-			w, err := mpi.Run(cfg, ring)
-			if err != nil {
-				return nil, fmt.Errorf("ext-scale %d/%s: %w", n, mech.Name, err)
-			}
-			row = append(row, fmt.Sprintf("%.2f", w.AvgInit().Seconds()*1e3))
-			switch mech.Name {
-			case StaticPolling.Name:
-				pinned[0] = float64(w.TotalPinnedPeak()) / (1 << 20)
-			case OnDemand.Name:
-				pinned[1] = float64(w.TotalPinnedPeak()) / (1 << 20)
-			}
+		for _, mech := range mechs {
+			n, mech := n, mech
+			jobs = append(jobs, sweep.Job[scaleCell]{
+				ID: cellID("ext-scale", "np", n, mech.Name),
+				Run: func() (scaleCell, error) {
+					cfg := baseConfig("clan", mech, n, opt.Seed)
+					w, err := mpi.Run(cfg, ring)
+					if err != nil {
+						return scaleCell{}, fmt.Errorf("ext-scale %d/%s: %w", n, mech.Name, err)
+					}
+					return scaleCell{
+						initMs:   fmt.Sprintf("%.2f", w.AvgInit().Seconds()*1e3),
+						pinnedMB: float64(w.TotalPinnedPeak()) / (1 << 20),
+					}, nil
+				},
+			})
 		}
-		row = append(row, fmtF(pinned[0]), fmtF(pinned[1]))
-		t.AddRow(row...)
+	}
+	cells, err := runGrid(opt, "ext-scale", jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range sizes {
+		cs, p2p, od := cells[i*len(mechs)], cells[i*len(mechs)+1], cells[i*len(mechs)+2]
+		t.AddRow(fmt.Sprint(n), cs.initMs, p2p.initMs, od.initMs,
+			fmtF(p2p.pinnedMB), fmtF(od.pinnedMB))
 	}
 	return t, nil
 }
@@ -75,25 +90,49 @@ func ExtApps(opt Options) (*Table, error) {
 	if opt.Quick {
 		n, rounds = 16, 2
 	}
+	type appCell struct {
+		avgVIs, util, pinnedMB float64
+	}
+	mechs := []Mechanism{StaticPolling, OnDemand}
+	var jobs []sweep.Job[appCell]
 	for _, p := range apps.All() {
 		if p.Name == "SMG2000" && opt.Quick {
 			continue // its wide partner set is slow in quick CI runs
 		}
-		stCfg := baseConfig("clan", StaticPolling, n, opt.Seed)
-		stW, err := apps.Replay(p, stCfg, rounds, 256)
-		if err != nil {
-			return nil, fmt.Errorf("ext-apps %s static: %w", p.Name, err)
+		for _, mech := range mechs {
+			p, mech := p, mech
+			jobs = append(jobs, sweep.Job[appCell]{
+				ID: fmt.Sprintf("ext-apps/%s/%s", p.Name, mech.Name),
+				Run: func() (appCell, error) {
+					cfg := baseConfig("clan", mech, n, opt.Seed)
+					w, err := apps.Replay(p, cfg, rounds, 256)
+					if err != nil {
+						return appCell{}, fmt.Errorf("ext-apps %s %s: %w", p.Name, mech.Name, err)
+					}
+					return appCell{
+						avgVIs:   w.AvgVIs(),
+						util:     w.AvgUtilization(),
+						pinnedMB: float64(w.TotalPinnedPeak()) / (1 << 20),
+					}, nil
+				},
+			})
 		}
-		odCfg := baseConfig("clan", OnDemand, n, opt.Seed)
-		odW, err := apps.Replay(p, odCfg, rounds, 256)
-		if err != nil {
-			return nil, fmt.Errorf("ext-apps %s ondemand: %w", p.Name, err)
+	}
+	cells, err := runGrid(opt, "ext-apps", jobs)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, p := range apps.All() {
+		if p.Name == "SMG2000" && opt.Quick {
+			continue
 		}
+		st, od := cells[i], cells[i+1]
+		i += 2
 		t.AddRow(p.Name, fmt.Sprint(n),
-			fmtF(stW.AvgVIs()), fmtF(odW.AvgVIs()),
-			fmtF(stW.AvgUtilization()),
-			fmtF(float64(stW.TotalPinnedPeak())/(1<<20)),
-			fmtF(float64(odW.TotalPinnedPeak())/(1<<20)))
+			fmtF(st.avgVIs), fmtF(od.avgVIs),
+			fmtF(st.util),
+			fmtF(st.pinnedMB), fmtF(od.pinnedMB))
 	}
 	return t, nil
 }
@@ -115,7 +154,34 @@ func ExtNpb(opt Options) (*Table, error) {
 	if opt.Quick {
 		cases = []npbCase{{"FT", npb.ClassS, 8}, {"LU", npb.ClassS, 8}}
 	}
-	for _, cs := range cases {
+	if err := npbEnsure(opt, "ext-npb",
+		npbSpec{"clan", cases, []Mechanism{StaticSpinwait, StaticPolling, OnDemand}}); err != nil {
+		return nil, err
+	}
+	// VI footprints from dedicated on-demand runs.
+	footJobs := make([]sweep.Job[float64], len(cases))
+	for i, cs := range cases {
+		cs := cs
+		footJobs[i] = sweep.Job[float64]{
+			ID: fmt.Sprintf("ext-npb/footprint/%s", cs.label()),
+			Run: func() (float64, error) {
+				k, err := npb.ByName(cs.bench)
+				if err != nil {
+					return 0, err
+				}
+				_, w, err := npb.Run(k, cs.class, baseConfig("clan", OnDemand, cs.procs, opt.Seed))
+				if err != nil {
+					return 0, err
+				}
+				return w.AvgVIs(), nil
+			},
+		}
+	}
+	footprints, err := runGrid(opt, "ext-npb/footprint", footJobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, cs := range cases {
 		sw, err := runNPB("clan", cs.bench, cs.class, cs.procs, StaticSpinwait, opt)
 		if err != nil {
 			return nil, err
@@ -128,16 +194,7 @@ func ExtNpb(opt Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		// VI footprint from a dedicated on-demand run.
-		k, err := npb.ByName(cs.bench)
-		if err != nil {
-			return nil, err
-		}
-		_, w, err := npb.Run(k, cs.class, baseConfig("clan", OnDemand, cs.procs, opt.Seed))
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(cs.label(), fmtF(sw/sp), fmtF(od/sp), fmtF(sp), fmtF(w.AvgVIs()))
+		t.AddRow(cs.label(), fmtF(sw/sp), fmtF(od/sp), fmtF(sp), fmtF(footprints[i]))
 	}
 	return t, nil
 }
@@ -176,37 +233,51 @@ func ExtIB(opt Options) (*Table, error) {
 			r.Proc().Sim().Failf("ring: %v", err)
 		}
 	}
-	for _, n := range sizes {
-		stInit, err := InitTime("ib", StaticPolling, n, opt.Seed)
-		if err != nil {
-			return nil, err
+	jobs := make([]sweep.Job[[]string], len(sizes))
+	for i, n := range sizes {
+		n := n
+		jobs[i] = sweep.Job[[]string]{
+			ID: cellID("ext-ib", "np", n, "all"),
+			Run: func() ([]string, error) {
+				stInit, err := InitTime("ib", StaticPolling, n, opt.Seed)
+				if err != nil {
+					return nil, err
+				}
+				odInit, err := InitTime("ib", OnDemand, n, opt.Seed)
+				if err != nil {
+					return nil, err
+				}
+				stBar, err := CollectiveLatency("ib", StaticPolling, n, iters, BarrierOp, opt.Seed)
+				if err != nil {
+					return nil, err
+				}
+				odBar, err := CollectiveLatency("ib", OnDemand, n, iters, BarrierOp, opt.Seed)
+				if err != nil {
+					return nil, err
+				}
+				stW, err := mpi.Run(baseConfig("ib", StaticPolling, n, opt.Seed), ring)
+				if err != nil {
+					return nil, err
+				}
+				odW, err := mpi.Run(baseConfig("ib", OnDemand, n, opt.Seed), ring)
+				if err != nil {
+					return nil, err
+				}
+				return []string{fmt.Sprint(n), fmtMicros(lat),
+					fmt.Sprintf("%.2f", stInit.Seconds()*1e3),
+					fmt.Sprintf("%.2f", odInit.Seconds()*1e3),
+					fmtMicros(stBar), fmtMicros(odBar),
+					fmtF(float64(stW.TotalPinnedPeak()) / (1 << 20)),
+					fmtF(float64(odW.TotalPinnedPeak()) / (1 << 20))}, nil
+			},
 		}
-		odInit, err := InitTime("ib", OnDemand, n, opt.Seed)
-		if err != nil {
-			return nil, err
-		}
-		stBar, err := CollectiveLatency("ib", StaticPolling, n, iters, BarrierOp, opt.Seed)
-		if err != nil {
-			return nil, err
-		}
-		odBar, err := CollectiveLatency("ib", OnDemand, n, iters, BarrierOp, opt.Seed)
-		if err != nil {
-			return nil, err
-		}
-		stW, err := mpi.Run(baseConfig("ib", StaticPolling, n, opt.Seed), ring)
-		if err != nil {
-			return nil, err
-		}
-		odW, err := mpi.Run(baseConfig("ib", OnDemand, n, opt.Seed), ring)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprint(n), fmtMicros(lat),
-			fmt.Sprintf("%.2f", stInit.Seconds()*1e3),
-			fmt.Sprintf("%.2f", odInit.Seconds()*1e3),
-			fmtMicros(stBar), fmtMicros(odBar),
-			fmtF(float64(stW.TotalPinnedPeak())/(1<<20)),
-			fmtF(float64(odW.TotalPinnedPeak())/(1<<20)))
+	}
+	rows, err := runGrid(opt, "ext-ib", jobs)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }
@@ -258,14 +329,28 @@ func ExtDynamic(opt Options) (*Table, error) {
 	dyn := baseConfig("clan", OnDemand, n, opt.Seed)
 	dyn.DynamicCredits = true
 	cases = append(cases, cfgCase{"on-demand+dynamic", dyn})
-	for _, cs := range cases {
-		w, err := mpi.Run(cs.cfg, workload)
-		if err != nil {
-			return nil, fmt.Errorf("ext-dynamic %s: %w", cs.name, err)
+	jobs := make([]sweep.Job[[]string], len(cases))
+	for i, cs := range cases {
+		cs := cs
+		jobs[i] = sweep.Job[[]string]{
+			ID: "ext-dynamic/" + cs.name,
+			Run: func() ([]string, error) {
+				w, err := mpi.Run(cs.cfg, workload)
+				if err != nil {
+					return nil, fmt.Errorf("ext-dynamic %s: %w", cs.name, err)
+				}
+				perRank := float64(w.TotalPinnedPeak()) / float64(n) / 1024
+				return []string{cs.name, fmtF(w.AvgVIs()), fmtF(perRank),
+					fmt.Sprintf("%.3f", w.Elapsed.Seconds()*1e3)}, nil
+			},
 		}
-		perRank := float64(w.TotalPinnedPeak()) / float64(n) / 1024
-		t.AddRow(cs.name, fmtF(w.AvgVIs()), fmtF(perRank),
-			fmt.Sprintf("%.3f", w.Elapsed.Seconds()*1e3))
+	}
+	rows, err := runGrid(opt, "ext-dynamic", jobs)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }

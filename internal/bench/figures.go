@@ -22,17 +22,22 @@ func Fig1(opt Options) (*Table, error) {
 		counts = []int{8, 32, 64}
 		iters = 10
 	}
-	for _, n := range counts {
-		extra := n - 1 // the pingpong channel itself is one VI
-		l4, err := Pingpong("bvia", StaticPolling, 4, iters, extra, opt.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("fig1 vis=%d: %w", n, err)
-		}
-		l8, err := Pingpong("bvia", StaticPolling, 8, iters, extra, opt.Seed)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprint(n), fmtMicros(l4), fmtMicros(l8))
+	msgSizes := []int{4, 8}
+	cells, err := gridCells(opt, "fig1", len(counts), len(msgSizes),
+		func(r, c int) string { return cellID("fig1", "vis", counts[r], fmt.Sprintf("%dB", msgSizes[c])) },
+		func(r, c int) (string, error) {
+			extra := counts[r] - 1 // the pingpong channel itself is one VI
+			l, err := Pingpong("bvia", StaticPolling, msgSizes[c], iters, extra, opt.Seed)
+			if err != nil {
+				return "", fmt.Errorf("fig1 vis=%d: %w", counts[r], err)
+			}
+			return fmtMicros(l), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range counts {
+		t.AddRow(append([]string{fmt.Sprint(n)}, cells[i]...)...)
 	}
 	return t, nil
 }
@@ -75,16 +80,20 @@ func latencySweep(id, title, device string, mechs []Mechanism, opt Options) (*Ta
 		sizes = []int{4, 1024, 16384}
 		iters = 8
 	}
-	for _, sz := range sizes {
-		row := []string{fmt.Sprint(sz)}
-		for _, m := range mechs {
-			l, err := Pingpong(device, m, sz, iters, 0, opt.Seed)
+	cells, err := gridCells(opt, id, len(sizes), len(mechs),
+		func(r, c int) string { return cellID(id, "bytes", sizes[r], mechs[c].Name) },
+		func(r, c int) (string, error) {
+			l, err := Pingpong(device, mechs[c], sizes[r], iters, 0, opt.Seed)
 			if err != nil {
-				return nil, fmt.Errorf("%s size=%d mech=%s: %w", id, sz, m.Name, err)
+				return "", fmt.Errorf("%s size=%d mech=%s: %w", id, sizes[r], mechs[c].Name, err)
 			}
-			row = append(row, fmtMicros(l))
-		}
-		t.AddRow(row...)
+			return fmtMicros(l), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, sz := range sizes {
+		t.AddRow(append([]string{fmt.Sprint(sz)}, cells[i]...)...)
 	}
 	return t, nil
 }
@@ -116,16 +125,20 @@ func bandwidthSweep(id, title, device string, mechs []Mechanism, opt Options) (*
 		sizes = []int{1024, 4999, 5001, 65536}
 		iters = 10
 	}
-	for _, sz := range sizes {
-		row := []string{fmt.Sprint(sz)}
-		for _, m := range mechs {
-			bw, err := Bandwidth(device, m, sz, iters, opt.Seed)
+	cells, err := gridCells(opt, id, len(sizes), len(mechs),
+		func(r, c int) string { return cellID(id, "bytes", sizes[r], mechs[c].Name) },
+		func(r, c int) (string, error) {
+			bw, err := Bandwidth(device, mechs[c], sizes[r], iters, opt.Seed)
 			if err != nil {
-				return nil, fmt.Errorf("%s size=%d mech=%s: %w", id, sz, m.Name, err)
+				return "", fmt.Errorf("%s size=%d mech=%s: %w", id, sizes[r], mechs[c].Name, err)
 			}
-			row = append(row, fmtF(bw))
-		}
-		t.AddRow(row...)
+			return fmtF(bw), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, sz := range sizes {
+		t.AddRow(append([]string{fmt.Sprint(sz)}, cells[i]...)...)
 	}
 	return t, nil
 }
@@ -155,16 +168,20 @@ func collectiveVsProcs(id, title, device string, mechs []Mechanism, procsList []
 	if opt.Quick {
 		iters = 20
 	}
-	for _, n := range procsList {
-		row := []string{fmt.Sprint(n)}
-		for _, m := range mechs {
-			l, err := CollectiveLatency(device, m, n, iters, op, opt.Seed)
+	cells, err := gridCells(opt, id, len(procsList), len(mechs),
+		func(r, c int) string { return cellID(id, "np", procsList[r], mechs[c].Name) },
+		func(r, c int) (string, error) {
+			l, err := CollectiveLatency(device, mechs[c], procsList[r], iters, op, opt.Seed)
 			if err != nil {
-				return nil, fmt.Errorf("%s procs=%d mech=%s: %w", id, n, m.Name, err)
+				return "", fmt.Errorf("%s procs=%d mech=%s: %w", id, procsList[r], mechs[c].Name, err)
 			}
-			row = append(row, fmtMicros(l))
-		}
-		t.AddRow(row...)
+			return fmtMicros(l), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range procsList {
+		t.AddRow(append([]string{fmt.Sprint(n)}, cells[i]...)...)
 	}
 	return t, nil
 }
@@ -222,16 +239,20 @@ func initSweep(id, title, device string, mechs []Mechanism, procsList []int, opt
 		cols = append(cols, m.Name+" (ms)")
 	}
 	t := &Table{ID: id, Title: title, Columns: cols}
-	for _, n := range procsList {
-		row := []string{fmt.Sprint(n)}
-		for _, m := range mechs {
-			d, err := InitTime(device, m, n, opt.Seed)
+	cells, err := gridCells(opt, id, len(procsList), len(mechs),
+		func(r, c int) string { return cellID(id, "np", procsList[r], mechs[c].Name) },
+		func(r, c int) (string, error) {
+			d, err := InitTime(device, mechs[c], procsList[r], opt.Seed)
 			if err != nil {
-				return nil, fmt.Errorf("%s procs=%d mech=%s: %w", id, n, m.Name, err)
+				return "", fmt.Errorf("%s procs=%d mech=%s: %w", id, procsList[r], mechs[c].Name, err)
 			}
-			row = append(row, fmt.Sprintf("%.2f", d.Seconds()*1e3))
-		}
-		t.AddRow(row...)
+			return fmt.Sprintf("%.2f", d.Seconds()*1e3), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range procsList {
+		t.AddRow(append([]string{fmt.Sprint(n)}, cells[i]...)...)
 	}
 	return t, nil
 }

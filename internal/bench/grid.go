@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"fmt"
+
+	"viampi/internal/sweep"
+)
+
+// This file adapts the experiments to the internal/sweep batch runner: every
+// grid experiment enumerates its cells as an indexed job list, fans them out
+// over the bounded worker pool, and assembles rows from the index-ordered
+// results. Each cell boots its own simulated world (a pure function of its
+// Config), so cells are hermetic by construction and the rendered tables are
+// byte-identical at every -j.
+
+// sweepOpts carries the driver's worker count and progress sink into the
+// batch runner, naming the batch after the experiment.
+func (o Options) sweepOpts(label string) sweep.Options {
+	return sweep.Options{Workers: o.Workers, Progress: o.Progress, Label: label}
+}
+
+// runGrid executes the jobs over the batch runner and returns their values
+// in job order, or the first error in job order.
+func runGrid[T any](opt Options, label string, jobs []sweep.Job[T]) ([]T, error) {
+	return sweep.Values(sweep.Run(opt.sweepOpts(label), jobs))
+}
+
+// gridCells runs one job per (row, column) cell of a table grid and returns
+// the rendered cells as [row][col]. id names a cell for panic errors and the
+// progress line; run computes it.
+func gridCells(opt Options, label string, rows, cols int,
+	id func(r, c int) string, run func(r, c int) (string, error)) ([][]string, error) {
+	jobs := make([]sweep.Job[string], 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			r, c := r, c
+			jobs = append(jobs, sweep.Job[string]{
+				ID:  id(r, c),
+				Run: func() (string, error) { return run(r, c) },
+			})
+		}
+	}
+	vals, err := runGrid(opt, label, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]string, rows)
+	for r := 0; r < rows; r++ {
+		out[r] = vals[r*cols : (r+1)*cols]
+	}
+	return out, nil
+}
+
+// cellID renders the conventional job ID for a grid cell:
+// "<experiment>/<axis>=<value>/<mechanism>".
+func cellID(exp, axis string, val any, mech string) string {
+	return fmt.Sprintf("%s/%s=%v/%s", exp, axis, val, mech)
+}

@@ -6,6 +6,7 @@ import (
 
 	"viampi/internal/mpi"
 	"viampi/internal/simnet"
+	"viampi/internal/sweep"
 )
 
 // extInitSizes is the ext-init sweep: past the paper's testbed, past the
@@ -117,19 +118,33 @@ func ExtInit(opt Options) (*Table, error) {
 	if opt.Quick {
 		sizes = []int{16, 64, 256}
 	}
+	mechs := []Mechanism{StaticPolling, OnDemand}
+	var jobs []sweep.Job[extInitResult]
 	for _, n := range sizes {
-		var res [2]extInitResult
-		for i, mech := range []Mechanism{StaticPolling, OnDemand} {
-			r, err := extInitRun(n, mech, opt.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("ext-init %d/%s: %w", n, mech.Name, err)
-			}
-			res[i] = r
+		for _, mech := range mechs {
+			n, mech := n, mech
+			jobs = append(jobs, sweep.Job[extInitResult]{
+				ID: cellID("ext-init", "np", n, mech.Name),
+				Run: func() (extInitResult, error) {
+					r, err := extInitRun(n, mech, opt.Seed)
+					if err != nil {
+						return extInitResult{}, fmt.Errorf("ext-init %d/%s: %w", n, mech.Name, err)
+					}
+					return r, nil
+				},
+			})
 		}
+	}
+	res, err := runGrid(opt, "ext-init", jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range sizes {
+		st, od := res[2*i], res[2*i+1]
 		t.AddRow(fmt.Sprint(n),
-			res[0].initMs, res[1].initMs,
-			res[0].firstUs, res[1].firstUs,
-			res[0].peakChans, res[1].peakChans)
+			st.initMs, od.initMs,
+			st.firstUs, od.firstUs,
+			st.peakChans, od.peakChans)
 	}
 	return t, nil
 }

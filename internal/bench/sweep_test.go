@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+)
+
+// renderAll renders a table in every committed artifact format and returns
+// the SHA-256 over the concatenation.
+func renderAll(t *testing.T, tb *Table) [32]byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	buf.WriteString("\x00csv\x00")
+	tb.RenderCSV(&buf)
+	buf.WriteString("\x00md\x00")
+	tb.RenderMarkdown(&buf)
+	return sha256.Sum256(buf.Bytes())
+}
+
+// TestMergeDeterminism is the byte-identity guarantee of the batch runner:
+// a representative grid (the ext-evict cap sweep and the ext-init np grid)
+// rendered from a -j1 run and a -j8 run must hash identically in every
+// format. Completion order differs wildly between the two; the index-ordered
+// merge must erase it.
+func TestMergeDeterminism(t *testing.T) {
+	for _, exp := range []struct {
+		name string
+		run  func(Options) (*Table, error)
+	}{
+		{"ext-evict", ExtEvict},
+		{"ext-init", ExtInit},
+	} {
+		var digests [2][32]byte
+		for i, workers := range []int{1, 8} {
+			tb, err := exp.run(Options{Quick: true, Seed: 1, Workers: workers})
+			if err != nil {
+				t.Fatalf("%s at -j%d: %v", exp.name, workers, err)
+			}
+			digests[i] = renderAll(t, tb)
+		}
+		if digests[0] != digests[1] {
+			t.Errorf("%s artifacts differ between -j1 and -j8: %x vs %x",
+				exp.name, digests[0], digests[1])
+		}
+	}
+}

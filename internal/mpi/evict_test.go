@@ -8,6 +8,7 @@ import (
 
 	"viampi/internal/obs"
 	"viampi/internal/simnet"
+	"viampi/internal/sweep"
 	"viampi/internal/via"
 )
 
@@ -112,28 +113,69 @@ func TestFaultMatrix(t *testing.T) {
 				DelayConnReq: 0.3, ConnReqDelay: 200 * simnet.Microsecond}
 		}},
 	}
-	for seed := int64(1); seed <= 2; seed++ {
+	seeds := []int64{1, 2}
+	policies := []string{"static-cs", "static-p2p", "ondemand"}
+
+	// matrixRun executes one cell — a full world under one (seed, policy,
+	// fault plan) — and returns the per-rank checksums. Each job builds its
+	// own program closure and result slice, so cells are hermetic and the
+	// whole matrix fans out over the batch runner.
+	matrixRun := func(seed int64, pol string, plan *via.FaultPlan) ([][]byte, error) {
 		prog := randProgram(seed, n)
-		for _, pol := range []string{"static-cs", "static-p2p", "ondemand"} {
-			ref := make([][]byte, n)
-			cfg := Config{Procs: n, Policy: pol, Deadline: 120 * simnet.Second, Seed: seed}
-			if _, err := Run(cfg, func(r *Rank) { ref[r.Rank()] = prog(r) }); err != nil {
-				t.Fatalf("seed %d %s fault-free: %v", seed, pol, err)
-			}
+		results := make([][]byte, n)
+		cfg := Config{Procs: n, Policy: pol, Deadline: 120 * simnet.Second,
+			Seed: seed, Faults: plan}
+		if _, err := Run(cfg, func(r *Rank) { results[r.Rank()] = prog(r) }); err != nil {
+			return nil, err
+		}
+		return results, nil
+	}
+
+	// Stage 1: fault-free references, one per (seed, policy).
+	var refJobs []sweep.Job[[][]byte]
+	for _, seed := range seeds {
+		for _, pol := range policies {
+			seed, pol := seed, pol
+			refJobs = append(refJobs, sweep.Job[[][]byte]{
+				ID:  fmt.Sprintf("ref/seed=%d/%s", seed, pol),
+				Run: func() ([][]byte, error) { return matrixRun(seed, pol, nil) },
+			})
+		}
+	}
+	refs, err := sweep.Values(sweep.Run(sweep.Options{}, refJobs))
+	if err != nil {
+		t.Fatalf("fault-free reference: %v", err)
+	}
+
+	// Stage 2: every fault plan against its reference.
+	var faultJobs []sweep.Job[struct{}]
+	for i, seed := range seeds {
+		for j, pol := range policies {
+			ref := refs[i*len(policies)+j]
 			for _, pl := range plans {
-				results := make([][]byte, n)
-				fcfg := Config{Procs: n, Policy: pol, Deadline: 120 * simnet.Second,
-					Seed: seed, Faults: pl.plan()}
-				if _, err := Run(fcfg, func(r *Rank) { results[r.Rank()] = prog(r) }); err != nil {
-					t.Fatalf("seed %d %s %s: %v", seed, pol, pl.name, err)
-				}
-				for rk := range results {
-					if !bytes.Equal(ref[rk], results[rk]) {
-						t.Fatalf("seed %d %s %s: rank %d checksum differs from fault-free run",
-							seed, pol, pl.name, rk)
-					}
-				}
+				seed, pol, pl := seed, pol, pl
+				faultJobs = append(faultJobs, sweep.Job[struct{}]{
+					ID: fmt.Sprintf("seed=%d/%s/%s", seed, pol, pl.name),
+					Run: func() (struct{}, error) {
+						results, err := matrixRun(seed, pol, pl.plan())
+						if err != nil {
+							return struct{}{}, err
+						}
+						for rk := range results {
+							if !bytes.Equal(ref[rk], results[rk]) {
+								return struct{}{}, fmt.Errorf("seed %d %s %s: rank %d checksum differs from fault-free run",
+									seed, pol, pl.name, rk)
+							}
+						}
+						return struct{}{}, nil
+					},
+				})
 			}
+		}
+	}
+	for _, r := range sweep.Run(sweep.Options{}, faultJobs) {
+		if r.Err != nil {
+			t.Error(r.Err)
 		}
 	}
 }

@@ -1,0 +1,142 @@
+// Package sweep is the deterministic batch-parallel runner for independent
+// whole-simulation jobs: the figure grids, the ext-init np sweep, the fault
+// matrix, the dual-run determinism harness — anything shaped like "run N
+// hermetic simulations and render their results in a fixed order".
+//
+// The contract is strict so every artifact stays byte-identical regardless
+// of worker count or host scheduling:
+//
+//   - Jobs are an indexed list. Each job is hermetic: a pure function of its
+//     own inputs with no shared mutable state (a simulated run is a pure
+//     function of its Config, so grid cells qualify by construction).
+//   - Results are collected by index and returned in job order. Completion
+//     order never leaks into the output.
+//   - A panicking job is recovered into an error tagged with its job ID;
+//     the remaining jobs run to completion.
+//
+// This package is the one sanctioned home for naked goroutines, sync
+// primitives, and wall-clock reads outside simulated time (see
+// internal/analysis/policy.go): the nondeterminism lives entirely between
+// job start and result collection, and the index-ordered merge erases it.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Job is one hermetic unit of a batch: an identified computation that may
+// run on any worker at any time relative to its siblings.
+type Job[T any] struct {
+	// ID names the job in panic errors and the progress line — for an
+	// experiment cell, the experiment ID plus its grid parameters
+	// ("ext-init/np=1024/on-demand").
+	ID string
+	// Run produces the job's result. It must not touch state shared with
+	// other jobs; a panic is recovered into Result.Err.
+	Run func() (T, error)
+}
+
+// Result pairs one job's output with its error, in job order.
+type Result[T any] struct {
+	ID    string
+	Value T
+	Err   error
+}
+
+// Options tunes a batch run.
+type Options struct {
+	// Workers bounds the pool; <= 0 means runtime.GOMAXPROCS(0). The
+	// result is identical for every value — only wall time changes.
+	Workers int
+	// Progress, when non-nil, receives a jobs-done/total + current-job +
+	// ETA line, rewritten in place (drivers pass Stderr(quiet), which is
+	// nil when stderr is not a terminal or quiet is set).
+	Progress ProgressFunc
+	// Label names the batch in the progress line ("figures/ext-init").
+	Label string
+}
+
+// workers resolves the pool size.
+func (o Options) workers(jobs int) int {
+	n := o.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > jobs {
+		n = jobs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Run executes every job over a bounded worker pool and returns the results
+// indexed exactly like jobs. All jobs run even when some fail; per-job
+// panics become errors. Run never returns an error itself — inspect the
+// per-job errors, or use Values for first-error-by-index semantics.
+func Run[T any](opt Options, jobs []Job[T]) []Result[T] {
+	results := make([]Result[T], len(jobs))
+	for i, j := range jobs {
+		results[i].ID = j.ID
+	}
+	if len(jobs) == 0 {
+		return results
+	}
+	tr := newTracker(opt.Label, len(jobs), opt.Progress)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := opt.workers(len(jobs)); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i].Value, results[i].Err = runOne(jobs[i])
+				tr.advance()
+				tr.render(jobs[i].ID)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	tr.finish()
+	return results
+}
+
+// runOne executes a single job, converting a panic into an error that names
+// the job so one exploding grid cell cannot take down the whole figure run
+// with a bare stack.
+func runOne[T any](j Job[T]) (val T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job %s: panic: %v\n%s", j.ID, r, stack())
+		}
+	}()
+	return j.Run()
+}
+
+// stack captures the panicking goroutine's stack, trimmed to a sane size.
+func stack() []byte {
+	buf := make([]byte, 16<<10)
+	return buf[:runtime.Stack(buf, false)]
+}
+
+// Values unwraps a result list into the values in job order and the first
+// error in job order (not completion order, so the reported failure is
+// deterministic). Plain job errors pass through as the job's Run returned
+// them; panic-converted errors already carry the job ID.
+func Values[T any](rs []Result[T]) ([]T, error) {
+	vals := make([]T, len(rs))
+	for i, r := range rs {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		vals[i] = r.Value
+	}
+	return vals, nil
+}
